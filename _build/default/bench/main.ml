@@ -1,0 +1,224 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   and times the verification kernels with Bechamel.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table1     # Table 1 reproduction only
+     dune exec bench/main.exe fig1       # Figure 1 series
+     dune exec bench/main.exe fig2       # Figure 2 series
+     dune exec bench/main.exe ablation   # design-choice ablations
+     dune exec bench/main.exe micro      # Bechamel micro-benchmarks *)
+
+let section title =
+  Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 () =
+  section "Table 1 — NSDP / ASAT / OVER / RW under the four engines";
+  Format.printf
+    "Engines: full = conventional exhaustive exploration; spin+po = stubborn-set@.\
+     partial order; smv = from-scratch BDD reachability (metric: peak live@.\
+     nodes); gpo = generalized partial order (metric: GPN states).@.\
+     Cells are measured/seconds with the paper's value in parentheses;@.\
+     'skip' = the engine's per-family time budget was exhausted — these@.\
+     are the paper's \"> 24 hours\" cells.@.@.";
+  let measurements = Harness.Experiment.table1 ~max_states:5_000_000 () in
+  Format.printf "%a@." Harness.Experiment.pp_table1 measurements
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let fig1 () =
+  section "Figure 1 — three concurrent transitions";
+  List.iter
+    (fun (label, count) -> Format.printf "%-45s %d@." label count)
+    (Harness.Experiment.fig1_series ())
+
+let fig2 () =
+  section "Figure 2 — N concurrently marked conflict pairs";
+  Format.printf "%a@." Harness.Experiment.pp_fig2
+    (Harness.Experiment.fig2_series ~max_n:12 ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices called out in DESIGN.md             *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ablation () =
+  section "Ablation — GPO explorer variants";
+  Format.printf "%-10s %-26s %8s %6s %9s@." "net" "variant" "states" "runs" "time";
+  let nets =
+    [
+      ("nsdp-8", Models.Nsdp.make 8);
+      ("nsdp-12", Models.Nsdp.make 12);
+      ("asat-8", Models.Asat.make 8);
+      ("over-5", Models.Over.make 5);
+      ("rw-15", Models.Rw.make 15);
+      ("fig2-10", Models.Figures.fig2 10);
+    ]
+  in
+  let variants =
+    [
+      ("batched+scan (default)", fun net -> Gpn.Explorer.analyse net);
+      ("batched, no scan (paper)", fun net -> Gpn.Explorer.analyse ~scan:false net);
+      ( "batched, aggressive",
+        fun net -> Gpn.Explorer.analyse ~thorough:false net );
+      ( "stepwise, no scan (paper)",
+        fun net ->
+          Gpn.Explorer.analyse ~reduction:Gpn.Explorer.Stepwise ~scan:false net );
+    ]
+  in
+  List.iter
+    (fun (name, net) ->
+      List.iter
+        (fun (vname, run) ->
+          (* The per-cluster serialization is quadratic in the number of
+             clusters; keep it off the largest instance. *)
+          if not (String.equal name "nsdp-12" && String.equal vname "stepwise, no scan (paper)")
+          then begin
+            let r, t = time (fun () -> run net) in
+            Format.printf "%-10s %-26s %8d %6d %8.3fs@." name vname
+              r.Gpn.Explorer.states
+              (List.length r.Gpn.Explorer.runs)
+              t
+          end)
+        variants;
+      Format.printf "@.")
+    nets;
+  Format.printf
+    "(stepwise with the deviation scan is exercised by the test suite on@.    \ small instances only: the per-cluster serialization multiplies the@.    \ number of deviation restarts.)@.";
+  section "Ablation — symbolic engine: partitioned vs monolithic relation";
+  Format.printf "%-10s %-14s %10s %12s %9s@." "net" "relation" "states" "peak-nodes"
+    "time";
+  List.iter
+    (fun (name, net) ->
+      List.iter
+        (fun (vname, partitioned) ->
+          let r, t = time (fun () -> Bddkit.Symbolic.analyse ~partitioned net) in
+          Format.printf "%-10s %-14s %10.0f %12d %8.3fs@." name vname
+            r.Bddkit.Symbolic.states r.Bddkit.Symbolic.peak_live_nodes t)
+        [ ("partitioned", true); ("monolithic", false) ])
+    [
+      ("nsdp-6", Models.Nsdp.make 6);
+      ("over-4", Models.Over.make 4);
+      ("rw-9", Models.Rw.make 9);
+    ];
+  section "Ablation — stubborn-set seed heuristic";
+  Format.printf "%-10s %-12s %8s %9s@." "net" "heuristic" "states" "time";
+  List.iter
+    (fun (name, net) ->
+      List.iter
+        (fun (hname, heuristic) ->
+          let r, t = time (fun () -> Petri.Stubborn.explore ~heuristic net) in
+          Format.printf "%-10s %-12s %8d %8.3fs@." name hname
+            r.Petri.Reachability.states t)
+        [ ("first-seed", Petri.Stubborn.First_seed); ("smallest", Petri.Stubborn.Smallest) ])
+    [
+      ("nsdp-6", Models.Nsdp.make 6);
+      ("asat-4", Models.Asat.make 4);
+      ("over-4", Models.Over.make 4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one grouped test per Table 1 family and
+   one per figure, timing the verification kernels.                    *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let gpo name net =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Gpn.Explorer.analyse ~scan:false net)))
+  in
+  let po name net =
+    Test.make ~name (Staged.stage (fun () -> ignore (Petri.Stubborn.explore net)))
+  in
+  let smv name net =
+    Test.make ~name (Staged.stage (fun () -> ignore (Bddkit.Symbolic.analyse net)))
+  in
+  let full name net =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Petri.Reachability.explore net)))
+  in
+  [
+    Test.make_grouped ~name:"table1-nsdp"
+      [
+        full "full-4" (Models.Nsdp.make 4);
+        po "po-6" (Models.Nsdp.make 6);
+        smv "smv-4" (Models.Nsdp.make 4);
+        gpo "gpo-6" (Models.Nsdp.make 6);
+        gpo "gpo-10" (Models.Nsdp.make 10);
+      ];
+    Test.make_grouped ~name:"table1-asat"
+      [
+        full "full-4" (Models.Asat.make 4);
+        po "po-8" (Models.Asat.make 8);
+        gpo "gpo-8" (Models.Asat.make 8);
+      ];
+    Test.make_grouped ~name:"table1-over"
+      [
+        full "full-4" (Models.Over.make 4);
+        po "po-5" (Models.Over.make 5);
+        gpo "gpo-5" (Models.Over.make 5);
+      ];
+    Test.make_grouped ~name:"table1-rw"
+      [
+        full "full-9" (Models.Rw.make 9);
+        po "po-9" (Models.Rw.make 9);
+        smv "smv-9" (Models.Rw.make 9);
+        gpo "gpo-15" (Models.Rw.make 15);
+      ];
+    Test.make_grouped ~name:"fig2"
+      [
+        full "full-8" (Models.Figures.fig2 8);
+        po "po-10" (Models.Figures.fig2 10);
+        gpo "gpo-12" (Models.Figures.fig2 12);
+      ];
+  ]
+
+let micro () =
+  section "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all ols Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.printf "%-28s %12.0f ns/run@." name est
+          | _ -> Format.printf "%-28s (no estimate)@." name)
+        results)
+    (bechamel_tests ());
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let jobs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> [ "table1"; "fig1"; "fig2"; "ablation"; "micro" ]
+  in
+  List.iter
+    (function
+      | "table1" -> table1 ()
+      | "fig1" -> fig1 ()
+      | "fig2" -> fig2 ()
+      | "ablation" -> ablation ()
+      | "micro" -> micro ()
+      | other ->
+          Format.eprintf
+            "unknown job %S (expected table1, fig1, fig2, ablation, micro)@." other;
+          exit 2)
+    jobs

@@ -1,0 +1,283 @@
+(* julie — generalized partial-order verification of safe Petri nets.
+
+   Command-line front end over the gpo libraries, named after the
+   prototype tool of the paper.  Sub-commands:
+
+     julie analyze   — run one or all engines on a net (file or builtin)
+     julie trace     — print a firing sequence to a deadlock
+     julie table1    — reproduce Table 1 of the paper
+     julie fig       — reproduce the Figure 1 / Figure 2 series
+     julie dot       — export a net or its reachability graph to DOT
+     julie info      — structural report: conflicts, clusters, invariants *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Net sources                                                         *)
+
+let load_net file builtin size =
+  match (file, builtin) with
+  | Some path, None -> Petri.Parser.of_file path
+  | None, Some id -> begin
+      match String.lowercase_ascii id with
+      | "fig1" -> Models.Figures.fig1
+      | "fig2" -> Models.Figures.fig2 size
+      | "fig3" -> Models.Figures.fig3
+      | "fig5" -> Models.Figures.fig5
+      | "fig7" -> Models.Figures.fig7
+      | "scheduler" -> Models.Scheduler.make size
+      | "random" -> Models.Random_net.generate size
+      | id -> (Harness.Experiment.family id).make size
+    end
+  | Some _, Some _ -> failwith "give either --file or --model, not both"
+  | None, None -> failwith "a net is required: --file FILE or --model NAME"
+
+let file_arg =
+  let doc = "Read the net from $(docv) (textual format, see Petri.Parser)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let model_arg =
+  let doc =
+    "Use a builtin model: nsdp, asat, over, rw, scheduler, fig1, fig2, \
+     fig3, fig5, fig7, or random (seeded by --size)."
+  in
+  Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"NAME" ~doc)
+
+let size_arg =
+  let doc = "Instance size (or random seed) for --model." in
+  Arg.(value & opt int 4 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let max_states_arg =
+  let doc = "State budget for the explicit engines." in
+  Arg.(value & opt int 5_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let engine_conv =
+  let parse = function
+    | "full" -> Ok Harness.Engine.Full
+    | "po" | "spin+po" | "stubborn" -> Ok Harness.Engine.Stubborn
+    | "smv" | "bdd" | "symbolic" -> Ok Harness.Engine.Symbolic
+    | "gpo" -> Ok Harness.Engine.Gpo
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Harness.Engine.name k))
+
+let engines_arg =
+  let doc = "Engine to run: full, po, smv or gpo (repeatable; default all)." in
+  Arg.(value & opt_all engine_conv [] & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let analyze file builtin size engines max_states =
+  let net = load_net file builtin size in
+  Format.printf "%a@." Petri.Net.pp_summary net;
+  let engines = if engines = [] then Harness.Engine.all else engines in
+  List.iter
+    (fun kind ->
+      let o = Harness.Engine.run ~max_states kind net in
+      Format.printf "%a@." Harness.Engine.pp_outcome o)
+    engines
+
+let analyze_cmd =
+  let info = Cmd.info "analyze" ~doc:"Check a net for deadlock with the chosen engines." in
+  Cmd.v info
+    Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg $ max_states_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace file builtin size =
+  let net = load_net file builtin size in
+  let result = Gpn.Explorer.analyse net in
+  match result.deadlocks with
+  | [] -> Format.printf "deadlock free (%d GPO states)@." result.states
+  | witness :: _ ->
+      let tr = Gpn.Explorer.deadlock_trace result witness in
+      Format.printf "@[<v>deadlock reached by:@ %a@ @ %a@]@." (Petri.Trace.pp net) tr
+        (Petri.Trace.pp_replay net) tr
+
+let trace_cmd =
+  let info = Cmd.info "trace" ~doc:"Print a firing sequence reaching a deadlock (GPO engine)." in
+  Cmd.v info Term.(const trace $ file_arg $ model_arg $ size_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table1 / fig                                                        *)
+
+let table1 budget =
+  let measurements =
+    Harness.Experiment.table1 ~max_states:5_000_000 ~full_budget:budget ()
+  in
+  Format.printf "%a@." Harness.Experiment.pp_table1 measurements
+
+let table1_cmd =
+  let budget =
+    Arg.(value & opt float 60. & info [ "budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per family for the expensive engines.")
+  in
+  let info = Cmd.info "table1" ~doc:"Reproduce Table 1 of the paper." in
+  Cmd.v info Term.(const table1 $ budget)
+
+let fig which max_n =
+  match which with
+  | "fig1" | "1" ->
+      List.iter
+        (fun (label, count) -> Format.printf "%-45s %d@." label count)
+        (Harness.Experiment.fig1_series ())
+  | "fig2" | "2" ->
+      Format.printf "%a@." Harness.Experiment.pp_fig2
+        (Harness.Experiment.fig2_series ~max_n ())
+  | s -> failwith (Printf.sprintf "unknown figure %S (expected fig1 or fig2)" s)
+
+let fig_cmd =
+  let which =
+    Arg.(value & pos 0 string "fig2" & info [] ~docv:"FIGURE" ~doc:"fig1 or fig2.")
+  in
+  let max_n =
+    Arg.(value & opt int 12 & info [ "max-n" ] ~docv:"N" ~doc:"Largest N for fig2.")
+  in
+  let info = Cmd.info "fig" ~doc:"Reproduce the figure series of the paper." in
+  Cmd.v info Term.(const fig $ which $ max_n)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot file builtin size graph gpo_graph output =
+  let net = load_net file builtin size in
+  let contents =
+    if gpo_graph then Gpn.Render.result (Gpn.Explorer.analyse net)
+    else if graph then
+      Petri.Dot.reachability_graph net (Petri.Reachability.explore ~max_states:10_000 net)
+    else Petri.Dot.net net
+  in
+  match output with
+  | None -> print_string contents
+  | Some path ->
+      Petri.Dot.write path contents;
+      Format.printf "wrote %s@." path
+
+let dot_cmd =
+  let graph =
+    Arg.(value & flag & info [ "g"; "graph" ]
+           ~doc:"Render the reachability graph instead of the net structure.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let gpo_graph =
+    Arg.(value & flag & info [ "gpo" ]
+           ~doc:"Render the generalized partial-order state graph instead.")
+  in
+  let info = Cmd.info "dot" ~doc:"Export a net (or a state graph) to Graphviz." in
+  Cmd.v info
+    Term.(const dot $ file_arg $ model_arg $ size_arg $ graph $ gpo_graph $ output)
+
+(* ------------------------------------------------------------------ *)
+(* safety                                                              *)
+
+let safety file builtin size cover engine =
+  let net = load_net file builtin size in
+  if cover = [] then failwith "--place PLACE (repeatable) is required";
+  let property =
+    {
+      Petri.Safety.name = "prop";
+      never_all = List.map (Petri.Net.place_index net) cover;
+    }
+  in
+  let monitored = Petri.Safety.monitor net property in
+  let outcome = Harness.Engine.run engine monitored in
+  if outcome.Harness.Engine.deadlock then begin
+    Format.printf "VIOLATED: {%s} can be marked simultaneously@."
+      (String.concat ", " cover);
+    match Petri.Safety.covering_marking net property with
+    | Some trace -> Format.printf "scenario: %a@." (Petri.Trace.pp net) trace
+    | None -> ()
+  end
+  else
+    Format.printf "holds: {%s} never marked simultaneously (%s engine, %.0f %s)@."
+      (String.concat ", " cover)
+      (Harness.Engine.name engine)
+      outcome.Harness.Engine.metric
+      (match engine with Harness.Engine.Symbolic -> "peak nodes" | _ -> "states")
+
+let safety_cmd =
+  let cover =
+    Arg.(value & opt_all string [] & info [ "p"; "place" ] ~docv:"PLACE"
+           ~doc:"Place of the cover to check (repeatable): the property is                  that all given places are never marked at once.")
+  in
+  let engine =
+    Arg.(value & opt engine_conv Harness.Engine.Gpo
+           & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Engine for the deadlock check.")
+  in
+  let info =
+    Cmd.info "safety"
+      ~doc:"Check a coverability safety property by reduction to deadlock."
+  in
+  Cmd.v info Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine)
+
+(* ------------------------------------------------------------------ *)
+(* siphons                                                             *)
+
+let siphons file builtin size =
+  let net = load_net file builtin size in
+  Format.printf "%a@." Petri.Net.pp_summary net;
+  Format.printf "free choice: %b@." (Petri.Siphon.is_free_choice net);
+  let siphons = Petri.Siphon.minimal_siphons net in
+  Format.printf "minimal siphons: %d@." (List.length siphons);
+  List.iter
+    (fun s ->
+      let trap = Petri.Siphon.max_trap_inside net s in
+      let marked =
+        (not (Petri.Bitset.is_empty trap))
+        && Petri.Bitset.intersects trap net.Petri.Net.initial
+      in
+      Format.printf "  %a — max trap %s@." (Petri.Net.pp_marking net) s
+        (if marked then "marked (protected)" else "unmarked (deadlock risk)"))
+    siphons;
+  Format.printf "Commoner's condition: %b@." (Petri.Siphon.commoner_holds net)
+
+let siphons_cmd =
+  let info =
+    Cmd.info "siphons" ~doc:"Structural deadlock analysis: minimal siphons and traps."
+  in
+  Cmd.v info Term.(const siphons $ file_arg $ model_arg $ size_arg)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+
+let info_command file builtin size =
+  let net = load_net file builtin size in
+  Format.printf "%a@." Petri.Net.pp_summary net;
+  let conflict = Petri.Conflict.analyse net in
+  let clusters =
+    Array.to_list (Petri.Conflict.clusters conflict)
+    |> List.filter (fun c -> Petri.Bitset.cardinal c >= 2)
+  in
+  Format.printf "conflict clusters (size ≥ 2): %d@." (List.length clusters);
+  List.iter
+    (fun c -> Format.printf "  %a@." (Petri.Net.pp_transition_set net) c)
+    clusters;
+  let p_invariants = Petri.Invariant.p_invariants net in
+  Format.printf "P-invariant basis (%d):@." (List.length p_invariants);
+  List.iter
+    (fun y -> Format.printf "  %a@." (Petri.Invariant.pp_invariant ~kind:`Place net) y)
+    p_invariants;
+  let report = Petri.Properties.check ~max_states:200_000 net in
+  Format.printf "%a@." (Petri.Properties.pp_report net) report
+
+let info_cmd =
+  let info = Cmd.info "info" ~doc:"Structural and behavioural report for a net." in
+  Cmd.v info Term.(const info_command $ file_arg $ model_arg $ size_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "generalized partial-order verification of safe Petri nets" in
+  let info = Cmd.info "julie" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      analyze_cmd; trace_cmd; safety_cmd; siphons_cmd; table1_cmd; fig_cmd;
+      dot_cmd; info_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/arbiter_tree.ml: Array Format Fun Harness List Models Petri Printf

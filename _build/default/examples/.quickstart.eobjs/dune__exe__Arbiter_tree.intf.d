@@ -1,0 +1,1 @@
+examples/arbiter_tree.mli:

@@ -1,0 +1,1 @@
+examples/dining_philosophers.ml: Bddkit Format Gpn List Models Petri

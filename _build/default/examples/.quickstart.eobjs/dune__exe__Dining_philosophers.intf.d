@@ -1,0 +1,1 @@
+examples/dining_philosophers.mli:

@@ -1,0 +1,1 @@
+examples/embedded_interface.ml: Array Format Gpn List Petri Printf String

@@ -1,0 +1,1 @@
+examples/embedded_interface.mli:

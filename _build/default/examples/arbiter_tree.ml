@@ -1,0 +1,62 @@
+(* Verifying a hardware-style asynchronous arbiter tree: deadlock
+   freedom with all four engines, plus a structural mutual-exclusion
+   proof from P-invariants — the kind of workflow the paper's
+   embedded-system methodology (reference [16]) is about.
+
+   Run with:  dune exec examples/arbiter_tree.exe *)
+
+let () =
+  let n = 4 in
+  let net = Models.Asat.make n in
+  Format.printf "%a@.@." Petri.Net.pp_summary net;
+
+  (* 1. The conflict structure: one cluster per arbiter decision. *)
+  let conflict = Petri.Conflict.analyse net in
+  let choice_clusters =
+    Array.to_list (Petri.Conflict.clusters conflict)
+    |> List.filter (fun c -> Petri.Bitset.cardinal c >= 2)
+  in
+  Format.printf "arbitration choices (conflict clusters):@.";
+  List.iter
+    (fun c -> Format.printf "  %a@." (Petri.Net.pp_transition_set net) c)
+    choice_clusters;
+
+  (* 2. Deadlock freedom, four ways. *)
+  Format.printf "@.engine comparison:@.";
+  List.iter
+    (fun kind ->
+      let o = Harness.Engine.run kind net in
+      Format.printf "  %a@." Harness.Engine.pp_outcome o;
+      assert (not o.Harness.Engine.deadlock))
+    Harness.Engine.all;
+
+  (* 3. Structural mutual exclusion: a P-invariant containing the user
+     "use" places and the resource token with weight 1 proves at most
+     one user is ever granted the resource. *)
+  let use_places =
+    List.filter_map
+      (fun i ->
+        try Some (Petri.Net.place_index net (Printf.sprintf "u%d.use" i))
+        with Not_found -> None)
+      (List.init n Fun.id)
+  in
+  let semiflows = Petri.Invariant.p_semiflows net in
+  let mutex_invariant =
+    List.find_opt
+      (fun y ->
+        List.for_all (fun p -> y.(p) = 1) use_places
+        && Petri.Invariant.invariant_value net y net.Petri.Net.initial = 1)
+      semiflows
+  in
+  (match mutex_invariant with
+  | Some y ->
+      Format.printf
+        "@.mutual exclusion proved structurally by the P-semiflow@.  %a = 1@."
+        (Petri.Invariant.pp_invariant ~kind:`Place net)
+        y
+  | None -> Format.printf "@.(no single semiflow covers all use places)@.");
+
+  (* 4. Liveness-style sanity: every transition can fire somewhere. *)
+  let report = Petri.Properties.check net in
+  Format.printf "@.%a@." (Petri.Properties.pp_report net) report;
+  assert report.Petri.Properties.quasi_live

@@ -1,0 +1,1 @@
+lib/bdd/symbolic.ml: Array Bdd List Petri Unix

@@ -1,0 +1,1 @@
+lib/bdd/symbolic.mli: Bdd Petri

@@ -1,0 +1,124 @@
+module Internal = struct
+  type encoding = {
+    manager : Bdd.manager;
+    n_places : int;
+    current : int -> int;
+    next : int -> int;
+    initial : Bdd.t;
+    enabled : Bdd.t array;
+    relations : Bdd.t array;
+  }
+
+  let current p = 2 * p
+  let next p = (2 * p) + 1
+
+  let encode (net : Petri.Net.t) =
+    let m = Bdd.manager () in
+    let n_places = net.n_places in
+    let initial =
+      Bdd.conj m
+        (List.init n_places (fun p ->
+             if Petri.Bitset.mem p net.initial then Bdd.var m (current p)
+             else Bdd.nvar m (current p)))
+    in
+    let enabled =
+      Array.init net.n_transitions (fun t ->
+          Bdd.conj m
+            (Array.to_list net.pre_list.(t)
+            |> List.map (fun p -> Bdd.var m (current p))))
+    in
+    let relations =
+      Array.init net.n_transitions (fun t ->
+          let pre = net.pre.(t) and post = net.post.(t) in
+          let update =
+            List.init n_places (fun p ->
+                let in_pre = Petri.Bitset.mem p pre in
+                let in_post = Petri.Bitset.mem p post in
+                if in_post then Bdd.var m (next p)
+                else if in_pre then Bdd.nvar m (next p)
+                else Bdd.iff m (Bdd.var m (next p)) (Bdd.var m (current p)))
+          in
+          Bdd.and_ m enabled.(t) (Bdd.conj m update))
+    in
+    { manager = m; n_places; current; next; initial; enabled; relations }
+
+  let marking_of_cube enc cube =
+    List.fold_left
+      (fun acc (v, b) ->
+        if b && v land 1 = 0 then Petri.Bitset.add (v / 2) acc else acc)
+      (Petri.Bitset.empty enc.n_places)
+      cube
+
+  let current_vars enc = List.init enc.n_places enc.current
+
+  let shift_next_to_current enc t =
+    (* next vars are odd = current + 1; the map v ↦ v - 1 on odd vars is
+       strictly monotone on the support (all-next) of the quantified
+       result. *)
+    Bdd.rename_monotone enc.manager (fun v -> v - 1) t
+
+  let image_one enc rel set =
+    let quantified = Bdd.and_exists enc.manager (current_vars enc) set rel in
+    shift_next_to_current enc quantified
+
+  let image enc set =
+    Array.fold_left
+      (fun acc rel -> Bdd.or_ enc.manager acc (image_one enc rel set))
+      (Bdd.zero enc.manager) enc.relations
+end
+
+type result = {
+  states : float;
+  iterations : int;
+  peak_live_nodes : int;
+  peak_set_nodes : int;
+  deadlock : Petri.Bitset.t option;
+  time_s : float;
+}
+
+let analyse ?(partitioned = true) (net : Petri.Net.t) =
+  let t0 = Unix.gettimeofday () in
+  let enc = Internal.encode net in
+  let m = enc.manager in
+  let image =
+    if partitioned then fun set -> Internal.image enc set
+    else begin
+      let monolithic = Bdd.disj m (Array.to_list enc.relations) in
+      fun set -> Internal.image_one enc monolithic set
+    end
+  in
+  let peak_set = ref (Bdd.size enc.initial) in
+  let rec fixpoint reached frontier iterations =
+    if Bdd.is_zero frontier then (reached, iterations)
+    else begin
+      let successors = image frontier in
+      let fresh = Bdd.and_ m successors (Bdd.not_ m reached) in
+      let reached = Bdd.or_ m reached fresh in
+      let set_size = Bdd.size reached in
+      if set_size > !peak_set then peak_set := set_size;
+      fixpoint reached fresh (iterations + 1)
+    end
+  in
+  let reached, iterations = fixpoint enc.initial enc.initial 0 in
+  let states = Bdd.sat_count m net.n_places
+      (* reached ranges over current variables only; renumber them to a
+         compact range for counting: current vars are exactly the even
+         ones, so divide by two monotonically. *)
+      (Bdd.rename_monotone m (fun v -> v / 2) reached)
+  in
+  let any_enabled = Bdd.disj m (Array.to_list enc.enabled) in
+  let dead_set = Bdd.and_ m reached (Bdd.not_ m any_enabled) in
+  let deadlock =
+    if Bdd.is_zero dead_set then None
+    else Some (Internal.marking_of_cube enc (Bdd.any_sat dead_set))
+  in
+  {
+    states;
+    iterations;
+    peak_live_nodes = Bdd.peak_nodes m;
+    peak_set_nodes = !peak_set;
+    deadlock;
+    time_s = Unix.gettimeofday () -. t0;
+  }
+
+let reachable_count net = (analyse net).states

@@ -1,0 +1,1 @@
+lib/gpn/dynamics.ml: Array Hashtbl List Petri Printf State World_set

@@ -1,0 +1,1 @@
+lib/gpn/dynamics.mli: Petri State World_set

@@ -1,0 +1,1 @@
+lib/gpn/explorer.ml: Array Bool Dynamics Format Hashtbl Int Lazy List Petri Printf Queue State Sys World_set

@@ -1,0 +1,1 @@
+lib/gpn/explorer.mli: Dynamics Format Petri State World_set

@@ -1,0 +1,1 @@
+lib/gpn/render.ml: Buffer Dynamics Explorer List Petri Printf State String World_set

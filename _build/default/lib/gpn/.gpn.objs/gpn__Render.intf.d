@@ -1,0 +1,1 @@
+lib/gpn/render.mli: Explorer

@@ -1,0 +1,1 @@
+lib/gpn/state.ml: Array Format Hashtbl Int List Petri World_set

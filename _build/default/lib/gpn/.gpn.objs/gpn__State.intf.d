@@ -1,0 +1,1 @@
+lib/gpn/state.mli: Format Hashtbl Petri World_set

@@ -1,0 +1,1 @@
+lib/gpn/validate.ml: Bool Explorer Format List Petri Printf State

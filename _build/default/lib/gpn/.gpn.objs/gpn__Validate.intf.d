@@ -1,0 +1,1 @@
+lib/gpn/validate.mli: Explorer Format Petri

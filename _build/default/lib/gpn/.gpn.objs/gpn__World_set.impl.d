@@ -1,0 +1,1 @@
+lib/gpn/world_set.ml: Format List Petri Set

@@ -1,0 +1,108 @@
+(** Generalized Petri Net dynamics (Section 3.2 of the paper).
+
+    A GPN shares the structure of a safe classical net; only the
+    marking representation and the firing rules change.  The central
+    objects are {e worlds}: maximal conflict-free transition sets.  The
+    formal definition of [r0] in Section 3.3 says "all conflict-free
+    subsets", but the worked example of Figure 7 ([m_enabled(A) =
+    {{A,C},{A,D}}]) is only consistent with {e maximal} conflict-free
+    sets, which is what this module uses (see DESIGN.md).  Each world
+    [v ∈ r] is a complete pre-resolution of every conflict cluster and
+    denotes one classical marking [{p | v ∈ m(p)}]; the rules below
+    update all worlds simultaneously.
+
+    Transitions belonging to a conflict cluster of size ≥ 2 are
+    {e choice transitions}; only they appear in world labels.  Worlds
+    are restricted to choice transitions, which keeps [r0] the product
+    of the per-cluster maximal independent sets of the conflict
+    graph. *)
+
+type ctx
+(** Precomputed GPN context for one net: conflict structure, choice
+    transitions, cluster alternatives and the initial state. *)
+
+val make : ?conflict:Petri.Conflict.t -> Petri.Net.t -> ctx
+(** Build the context.  [conflict] may be supplied when already
+    computed.  Cost is dominated by the construction of [r0]: the
+    product over conflict clusters of their maximal independent sets
+    (exponential in the number of {e concurrently structured} conflict
+    clusters — the very quantity GPO trades state count against). *)
+
+val net : ctx -> Petri.Net.t
+val conflict : ctx -> Petri.Conflict.t
+
+val choice_transitions : ctx -> Petri.Bitset.t
+(** Transitions in conflict with at least one other transition. *)
+
+val cluster_alternatives : ctx -> Petri.Bitset.t list list
+(** For each conflict cluster of size ≥ 2, its maximal independent
+    sets (the per-cluster alternatives multiplied into [r0]). *)
+
+val initial : ctx -> State.t
+(** [⟨m0^G, r0⟩] per Section 3.3: [m0^G(p) = r0] iff [p ∈ m0]. *)
+
+val initial_of_marking : ctx -> Petri.Bitset.t -> State.t
+(** Like {!initial} for an arbitrary safe marking — used by the
+    explorer to restart the analysis from a deviation marking. *)
+
+val s_enabled : ctx -> Petri.Net.transition -> State.t -> World_set.t
+(** Definition 3.2 (single enabling): the worlds in which every input
+    place of the transition is marked — exactly the worlds whose
+    denoted classical marking enables it. *)
+
+val enabled_transitions : ctx -> State.t -> Petri.Bitset.t
+(** Transitions with a non-empty {!s_enabled} set. *)
+
+val m_enabled : ctx -> Petri.Net.transition -> State.t -> World_set.t
+(** Definition 3.5 (multiple enabling): the single-enabling worlds that
+    additionally {e chose} the transition ([t ∈ v]).  Empty for
+    non-choice transitions, which never appear in labels. *)
+
+val single_fire : ctx -> Petri.Net.transition -> State.t -> State.t
+(** Definition 3.3: move the common history [s_enabled t s] from the
+    input places to the output places; [r] is unchanged.  Requires a
+    single-enabled transition ([assert]ed). *)
+
+val batch_single_fire : ctx -> Petri.Net.transition list -> State.t -> State.t
+(** Fire a set of pairwise non-conflicting transitions as one step of
+    the single firing rule: all histories are computed first, then all
+    moves are applied.  Because the transitions share no input places,
+    the result equals firing them sequentially in any order; batching
+    them keeps the number of analysis states independent of the amount
+    of concurrency (the [N!] → [N] → [1] collapse of Sections 2.2/2.3).
+    Requires every transition to be single-enabled ([assert]ed). *)
+
+val multiple_fire : ctx -> Petri.Bitset.t -> State.t -> State.t
+(** Definition 3.6: fire a set [T'] of (possibly conflicting) choice
+    transitions simultaneously.  Every member must be multiple-enabled
+    ([assert]ed).  The new valid set [r'] keeps the worlds that either
+    chose and fired some member of [T'] or still single-enable some
+    unfired transition; all place contents are filtered by [r']. *)
+
+val step_fire :
+  ctx ->
+  multiples:Petri.Bitset.t ->
+  singles:Petri.Net.transition list ->
+  State.t ->
+  State.t
+(** One combined analysis step: fire [multiples] with the multiple rule
+    and [singles] with the single rule, all from the same source state.
+    Choice and conflict-free transitions never share input places, so
+    the moves compose; the new valid set follows Definition 3.6 with
+    [T' = multiples] (the singles' worlds are kept by the unfired
+    [s_enabled] term, and worlds enabling nothing — already reported as
+    deadlocks — are pruned).  Firing both kinds in the same step keeps
+    pending conflict-free transitions from being postponed forever when
+    a multiple firing closes a cycle (the "ignoring" problem).
+    Requires every multiple to be multiple-enabled and every single to
+    be single-enabled ([assert]ed). *)
+
+val deadlock_worlds : ctx -> State.t -> World_set.t
+(** The worlds [v ∈ r] whose denoted classical marking enables no
+    transition — the deadlock characterization of Section 3.3
+    ([⋃_t s_enabled(t,s) ≠ r]). *)
+
+val check_invariant : ctx -> State.t -> unit
+(** Assert the representation invariant [m(p) ⊆ r] and that every
+    world in [r] denotes a marking consistent with [s_enabled] — used
+    by the test suite and debug builds. *)

@@ -1,0 +1,153 @@
+(** Generalized partial-order reachability analysis (Section 3.3).
+
+    At every state the explorer:
+
+    + checks the deadlock condition [⋃_t s_enabled(t,s) ≠ r] and
+      records the dead worlds;
+    + runs the {e deviation scan} (see below);
+    + computes the {e firable} transitions: a choice transition is
+      firable when it is multiple-enabled (some world that {e chose} it
+      marks its preset — Definition 3.5); a conflict-free transition is
+      firable when it is single-enabled.  A choice transition that is
+      single- but not multiple-enabled is never fired: the worlds
+      enabling it resolved the conflict in favour of a competitor, and
+      the branch in which it fires is denoted by the sibling worlds
+      that chose it (the {e anticipation} at the heart of the method);
+    + fires the firable multiple-enabled transitions with the multiple
+      firing rule, then the conflict-free ones with the (batched)
+      single rule — by default everything of a kind at once, one
+      successor per state.
+
+    {2 Deviation restarts}
+
+    A world fixes each conflict cluster's resolution {e once}; an
+    execution that re-enters a cluster and resolves it differently is
+    not denoted by any world.  (The paper's footnote 2 alludes to extra
+    bookkeeping "that the firing of an enabled transition is not
+    postponed forever" without giving it.)  The explorer therefore
+    scans every state for {e deviations}: a world [v] and a choice
+    transition [t] with [v ∈ s_enabled(t) \ m_enabled(t)] — the marking
+    denoted by [v] enables [t], but [v]'s label rejected it.  The
+    deviating branch is covered when a sibling world at the same
+    denoted marking is about to fire [t], or when some world already
+    denotes the post-firing marking; otherwise the analysis is
+    {e restarted} from the post-firing marking (globally memoized).
+    Restart roots are reachable classical markings, so soundness is
+    preserved; the scan makes deadlock detection complete (validated
+    against exhaustive search on thousands of random nets by the test
+    suite).  On the paper's benchmark families the scan triggers no
+    (or almost no) restarts and the state counts keep the paper's
+    constant/linear shape. *)
+
+type label = {
+  multiples : Petri.Bitset.t;
+      (** Choice transitions fired with the multiple rule. *)
+  singles : Petri.Net.transition list;
+      (** Conflict-free transitions fired with the single rule. *)
+}
+(** One analysis step: all of [multiples] and [singles] fire
+    simultaneously from the source state (see {!Dynamics.step_fire}). *)
+
+type reduction =
+  | Batched  (** Fire all candidates at the same time (default). *)
+  | Stepwise
+      (** One conflict cluster or one single transition per step —
+          the "one interleaving" variant of Section 3.3, for ablation. *)
+
+type run = {
+  root : Petri.Bitset.t;  (** Classical marking the run starts from. *)
+  origin : origin;  (** How that marking was reached. *)
+  initial : State.t;
+  predecessor : (label * State.t) State.Table.t;
+      (** First-reach predecessor of every non-initial state of the run. *)
+  visited : unit State.Table.t;  (** The states of the run. *)
+}
+
+and origin =
+  | Init  (** The net's initial marking. *)
+  | Deviation of {
+      parent : run;  (** Run whose scan produced this root. *)
+      state : State.t;  (** State at which the deviation was found. *)
+      world : World_set.world;  (** The rejecting world. *)
+      transition : Petri.Net.transition;  (** The rejected transition. *)
+    }
+
+type witness = {
+  run : run;  (** The run in which the deadlock was found. *)
+  state : State.t;  (** The GPN state exhibiting the deadlock. *)
+  worlds : World_set.t;  (** Valid worlds whose denoted marking is dead. *)
+  markings : Petri.Bitset.t list;
+      (** The dead classical markings, first reported at this state. *)
+}
+
+type result = {
+  ctx : Dynamics.ctx;
+  states : int;  (** Total GPN states over all runs — the Table 1 count. *)
+  edges : int;
+  runs : run list;
+      (** All runs, in scheduling order (a single run means no
+          deviation restart was needed). *)
+  deadlocks : witness list;
+  truncated : bool;
+}
+
+val explore :
+  ?reduction:reduction ->
+  ?thorough:bool ->
+  ?scan:bool ->
+  ?max_states:int ->
+  ?max_deadlocks:int ->
+  Dynamics.ctx ->
+  result
+(** Run the analysis from the initial marking, restarting on uncovered
+    deviations until the pending-root queue empties.  [max_states]
+    (default [1_000_000]) bounds the total number of states across all
+    runs; [max_deadlocks] (default [64]) bounds retained witnesses.
+    Witness markings are deduplicated globally, so a deadlock lingering
+    over several states is reported once.
+
+    [scan] (default [true]) runs the deviation scan described above.
+    Disabling it gives exactly the paper's procedure (state graph and
+    deadlock check only): per-state cost drops from per-world to pure
+    set algebra — the configuration behind the paper's linear CPU-time
+    claim — at the price of missing deadlocks that require re-entering
+    a conflict cluster with a different resolution (on the benchmark
+    families of Table 1 the verdicts are unchanged; on randomized nets
+    roughly 2%% of deadlock verdicts were missed without the scan).
+
+    [thorough] (default [true]) additionally serializes same-cluster
+    transitions that would fire in overlapping worlds within one step:
+    such a step can skip the serialization in which the first firing
+    re-enables a competitor of the second through a chain of other
+    transitions, hiding a deviation.  Disabling it recovers the paper's
+    aggressive all-at-once batching (slightly smaller state counts, used
+    by the ablation bench) at the cost of missing rare deadlock
+    {e markings} of that nested re-entrant shape — deadlock verdicts
+    agreed with exhaustive search on all randomized nets we tested in
+    both modes, but only the thorough mode also witnessed every dead
+    marking. *)
+
+val analyse :
+  ?reduction:reduction ->
+  ?thorough:bool ->
+  ?scan:bool ->
+  ?max_states:int ->
+  ?max_deadlocks:int ->
+  Petri.Net.t ->
+  result
+(** [Dynamics.make] followed by {!explore}. *)
+
+val deadlock_free : result -> bool
+(** [true] iff no deadlock witness was found (meaningful only when
+    [truncated = false]). *)
+
+val deadlock_trace : result -> witness -> Petri.Net.transition list
+(** Extract a classical firing sequence from the net's initial marking
+    to the first dead marking of the witness: deviation origins are
+    unwound recursively, and each run's GPN path is replayed in the
+    relevant world, collecting the transitions that actually fired in
+    it.  The result is a valid trace of the classical net (checked by
+    the test suite with {!Petri.Trace.replay}). *)
+
+val pp_summary : Format.formatter -> result -> unit
+(** One-line summary: states, edges, runs, deadlock verdict. *)

@@ -1,0 +1,16 @@
+(** Graphviz rendering of GPO analysis results.
+
+    Produces the "anticipated reachability graph" pictures of the
+    paper (Figure 2(b)): one node per GPN state — labelled with the
+    number of worlds and the classical markings it denotes — and one
+    edge per analysis step, labelled with the transitions fired.
+    Deviation-restart runs appear as separate clusters linked by dashed
+    edges from the state that spawned them. *)
+
+val result : ?max_markings:int -> Explorer.result -> string
+(** Render a whole analysis.  Each node lists up to [max_markings]
+    (default [4]) denoted classical markings; deadlocked states are
+    highlighted. *)
+
+val write : string -> Explorer.result -> unit
+(** [write path result] renders to a file. *)

@@ -1,0 +1,43 @@
+(** States of a Generalized Petri Net.
+
+    A GPN state is the pair [⟨m, r⟩] of Definition 3.1: [m] maps every
+    place to a world set (its "colored tokens") and [r] is the set of
+    currently valid worlds.  The denotation of a state is the set of
+    classical markings [mapping⟨m,r⟩ = { {p | v ∈ m(p)} | v ∈ r }]
+    (Definition 3.4): one classical marking per world.
+
+    Invariant maintained by the dynamics: [m(p) ⊆ r] for every place. *)
+
+type t = private {
+  m : World_set.t array;  (** Indexed by place. *)
+  r : World_set.t;
+}
+
+val make : World_set.t array -> World_set.t -> t
+(** [make m r] builds a state; every [m.(p)] is intersected with [r] to
+    establish the invariant.  The array is copied. *)
+
+val marking : t -> Petri.Net.place -> World_set.t
+(** [marking s p] is [m(p)]. *)
+
+val valid : t -> World_set.t
+(** [valid s] is [r]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val denoted_marking : t -> World_set.world -> Petri.Bitset.t
+(** [denoted_marking s v] is the classical marking [{p | v ∈ m(p)}]
+    denoted by world [v]. *)
+
+val mapping : t -> Petri.Bitset.t list
+(** Definition 3.4: the classical markings denoted by the state, one
+    per valid world, deduplicated, in increasing order. *)
+
+val pp : Petri.Net.t -> Format.formatter -> t -> unit
+(** Multi-line rendering with place and transition names; empty places
+    are omitted. *)
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by GPN states. *)

@@ -1,0 +1,1 @@
+lib/harness/engine.ml: Bddkit Format Gpn Petri Unix

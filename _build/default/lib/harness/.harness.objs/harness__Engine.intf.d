@@ -1,0 +1,1 @@
+lib/harness/engine.mli: Format Petri

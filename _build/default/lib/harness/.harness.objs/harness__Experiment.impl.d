@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Engine Float Format Gpn Hashtbl List Models Option Petri Printf String

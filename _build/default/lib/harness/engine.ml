@@ -1,0 +1,77 @@
+type kind = Full | Stubborn | Symbolic | Gpo
+
+type outcome = {
+  kind : kind;
+  states : float;
+  metric : float;
+  deadlock : bool;
+  time_s : float;
+  truncated : bool;
+}
+
+let all = [ Full; Stubborn; Symbolic; Gpo ]
+
+let name = function
+  | Full -> "full"
+  | Stubborn -> "spin+po"
+  | Symbolic -> "smv"
+  | Gpo -> "gpo"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run ?(max_states = 5_000_000) kind net =
+  match kind with
+  | Full ->
+      let r, time_s = timed (fun () -> Petri.Reachability.explore ~max_states net) in
+      {
+        kind;
+        states = float_of_int r.states;
+        metric = float_of_int r.states;
+        deadlock = r.deadlock_count > 0;
+        time_s;
+        truncated = r.truncated;
+      }
+  | Stubborn ->
+      let r, time_s = timed (fun () -> Petri.Stubborn.explore ~max_states net) in
+      {
+        kind;
+        states = float_of_int r.states;
+        metric = float_of_int r.states;
+        deadlock = r.deadlock_count > 0;
+        time_s;
+        truncated = r.truncated;
+      }
+  | Symbolic ->
+      let r, time_s = timed (fun () -> Bddkit.Symbolic.analyse net) in
+      {
+        kind;
+        states = r.states;
+        metric = float_of_int r.peak_live_nodes;
+        deadlock = r.deadlock <> None;
+        time_s;
+        truncated = false;
+      }
+  | Gpo ->
+      (* The paper-faithful configuration: no deviation scan (Section 3.3
+         as published).  The library's hardened default (scan = true) is
+         exercised by the ablation bench and the test suite. *)
+      let r, time_s =
+        timed (fun () -> Gpn.Explorer.analyse ~scan:false ~max_states net)
+      in
+      {
+        kind;
+        states = float_of_int r.states;
+        metric = float_of_int r.states;
+        deadlock = not (Gpn.Explorer.deadlock_free r);
+        time_s;
+        truncated = r.truncated;
+      }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-8s %12.0f %s %8.3fs%s" (name o.kind) o.metric
+    (if o.deadlock then "deadlock " else "dl-free  ")
+    o.time_s
+    (if o.truncated then " (truncated)" else "")

@@ -1,0 +1,41 @@
+(** Uniform interface over the four verification engines of Table 1.
+
+    Each engine takes a safe net and answers the deadlock question,
+    reporting the exploration size in its own metric: visited markings
+    for the explicit engines, GPN states for GPO, peak BDD nodes for
+    the symbolic engine. *)
+
+type kind =
+  | Full  (** Conventional exhaustive analysis ("States" column). *)
+  | Stubborn  (** Stubborn-set partial order ("SPIN+PO" column). *)
+  | Symbolic  (** BDD reachability ("SMV" column). *)
+  | Gpo  (** Generalized partial order ("GPO" column). *)
+
+type outcome = {
+  kind : kind;
+  states : float;
+      (** Visited states (explicit/GPO) or reachable markings (symbolic). *)
+  metric : float;
+      (** The Table 1 size metric: states for explicit/GPO engines,
+          peak live BDD nodes for the symbolic engine. *)
+  deadlock : bool;
+  time_s : float;  (** Wall-clock analysis time. *)
+  truncated : bool;  (** [true] if a state budget was exhausted. *)
+}
+
+val all : kind list
+(** The four engines in Table 1 column order. *)
+
+val name : kind -> string
+(** Display name ("full", "spin+po", "smv", "gpo"). *)
+
+val run : ?max_states:int -> kind -> Petri.Net.t -> outcome
+(** Run one engine.  [max_states] (default [5_000_000]) bounds the
+    explicit engines and GPO; the symbolic engine ignores it.  The GPO
+    engine runs in the paper-faithful configuration
+    ([Gpn.Explorer.analyse ~scan:false]): the hardened default with the
+    deviation scan is the library default and is compared against it by
+    the ablation bench. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line rendering: name, metric, deadlock verdict, time. *)

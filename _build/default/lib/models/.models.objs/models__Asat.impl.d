@@ -1,0 +1,1 @@
+lib/models/asat.ml: List Petri Printf

@@ -1,0 +1,1 @@
+lib/models/asat.mli: Petri

@@ -1,0 +1,1 @@
+lib/models/figures.ml: List Petri Printf

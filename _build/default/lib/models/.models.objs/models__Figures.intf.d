@@ -1,0 +1,1 @@
+lib/models/figures.mli: Petri

@@ -1,0 +1,1 @@
+lib/models/nsdp.mli: Petri

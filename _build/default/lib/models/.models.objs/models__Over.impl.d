@@ -1,0 +1,1 @@
+lib/models/over.ml: Array Petri Printf

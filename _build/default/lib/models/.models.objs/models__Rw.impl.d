@@ -1,0 +1,1 @@
+lib/models/rw.ml: Array Petri Printf

@@ -1,0 +1,1 @@
+lib/models/scheduler.ml: Array Petri Printf

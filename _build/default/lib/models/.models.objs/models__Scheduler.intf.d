@@ -1,0 +1,1 @@
+lib/models/scheduler.mli: Petri

@@ -1,0 +1,75 @@
+(* Every tree node exposes three places to its parent: req (the node
+   wants the resource), grant (the parent awards it), done (the node
+   releases it).  Users are leaves; cells multiplex two children. *)
+
+type port = { req : Petri.Net.place; grant : Petri.Net.place; done_ : Petri.Net.place }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let make n =
+  if n < 2 || not (is_power_of_two n) then
+    invalid_arg "Asat.make: the number of users must be a power of two, at least 2";
+  let b = Petri.Builder.create (Printf.sprintf "asat-%d" n) in
+  let place ?marked fmt = Printf.ksprintf (Petri.Builder.place b ?marked) fmt in
+  let transition name ~pre ~post = ignore (Petri.Builder.transition b name ~pre ~post) in
+  let port prefix =
+    {
+      req = place "%s.req" prefix;
+      grant = place "%s.grant" prefix;
+      done_ = place "%s.done" prefix;
+    }
+  in
+  let user i =
+    let p = port (Printf.sprintf "u%d" i) in
+    let idle = place ~marked:true "u%d.idle" i in
+    let wait = place "u%d.wait" i in
+    let use = place "u%d.use" i in
+    transition (Printf.sprintf "u%d.ask" i) ~pre:[ idle ] ~post:[ wait; p.req ];
+    transition (Printf.sprintf "u%d.enter" i) ~pre:[ wait; p.grant ] ~post:[ use ];
+    transition (Printf.sprintf "u%d.leave" i) ~pre:[ use ] ~post:[ idle; p.done_ ];
+    p
+  in
+  let cell name a b_port =
+    let p = port name in
+    let free = place ~marked:true "%s.free" name in
+    let side tag child =
+      let wait = place "%s.wait%s" name tag in
+      let busy = place "%s.busy%s" name tag in
+      transition (Printf.sprintf "%s.fwd%s" name tag)
+        ~pre:[ child.req; free ]
+        ~post:[ wait; p.req ];
+      transition (Printf.sprintf "%s.grant%s" name tag)
+        ~pre:[ wait; p.grant ]
+        ~post:[ busy; child.grant ];
+      transition (Printf.sprintf "%s.back%s" name tag)
+        ~pre:[ busy; child.done_ ]
+        ~post:[ free; p.done_ ]
+    in
+    side "A" a;
+    side "B" b_port;
+    p
+  in
+  (* Build the tree bottom-up; level 0 holds the user ports. *)
+  let level = ref (List.init n user) in
+  let next_cell = ref 0 in
+  while List.length !level > 1 do
+    let rec pair = function
+      | a :: b_port :: rest ->
+          let name = Printf.sprintf "c%d" !next_cell in
+          incr next_cell;
+          cell name a b_port :: pair rest
+      | [] -> []
+      | [ _ ] -> assert false
+    in
+    level := pair !level
+  done;
+  let root =
+    match !level with [ p ] -> p | _ -> assert false
+  in
+  (* The root arbiter: one resource token. *)
+  let token = place ~marked:true "resource" in
+  transition "root.award" ~pre:[ root.req; token ] ~post:[ root.grant ];
+  transition "root.reclaim" ~pre:[ root.done_ ] ~post:[ token ];
+  Petri.Builder.build b
+
+let sizes = [ 2; 4; 8 ]

@@ -1,0 +1,27 @@
+(** Asynchronous Arbiter Tree (ASAT).
+
+    A binary tree of asynchronous arbiter cells granting [n] leaf users
+    mutually exclusive access to one shared resource held at the root
+    (the benchmark of Alur et al. cited as [1] in the paper).  Every
+    cell forwards a request from one of its two children up the tree —
+    the choice of which child to serve is a conflict — and propagates
+    the grant down and the release back up.
+
+    Per user [i]: [idle.i] (marked) → [ask.i] → request token to its
+    leaf cell; on grant, [use.i]; then release.  Per cell [c] with
+    children [a, b]: [free.c] (marked) plus wait/busy slots:
+    - [fwdA.c : req_a, free.c → waitA.c, req_c]   (conflict with [fwdB.c])
+    - [grantA.c : waitA.c, grant_c → busyA.c, grant_a]
+    - [backA.c : busyA.c, done_a → free.c, done_c]   (and symmetrically B)
+
+    The root converts [req] into [grant] through the resource token.
+    The net is deadlock-free and safe; with all users requesting
+    concurrently, every cell on the way up is a concurrently marked
+    conflict place — the situation of Figure 2 of the paper. *)
+
+val make : int -> Petri.Net.t
+(** [make n] builds the tree with [n] leaf users.  [n] must be a power
+    of two and at least 2 ([Invalid_argument] otherwise). *)
+
+val sizes : int list
+(** Instance sizes used in Table 1 of the paper: [2; 4; 8]. *)

@@ -1,0 +1,62 @@
+let transition b name ~pre ~post = ignore (Petri.Builder.transition b name ~pre ~post)
+
+let fig1 =
+  let b = Petri.Builder.create "fig1" in
+  let src = List.init 3 (fun i -> Petri.Builder.place b ~marked:true (Printf.sprintf "p%d" i)) in
+  let dst = List.init 3 (fun i -> Petri.Builder.place b (Printf.sprintf "q%d" i)) in
+  List.iteri
+    (fun i name ->
+      transition b name ~pre:[ List.nth src i ] ~post:[ List.nth dst i ])
+    [ "A"; "B"; "C" ];
+  Petri.Builder.build b
+
+let fig2 n =
+  if n < 1 then invalid_arg "Figures.fig2: need at least one conflict pair";
+  let b = Petri.Builder.create (Printf.sprintf "fig2-%d" n) in
+  for i = 0 to n - 1 do
+    let c = Petri.Builder.place b ~marked:true (Printf.sprintf "c%d" i) in
+    let a_out = Petri.Builder.place b (Printf.sprintf "a%d" i) in
+    let b_out = Petri.Builder.place b (Printf.sprintf "b%d" i) in
+    transition b (Printf.sprintf "A%d" i) ~pre:[ c ] ~post:[ a_out ];
+    transition b (Printf.sprintf "B%d" i) ~pre:[ c ] ~post:[ b_out ]
+  done;
+  Petri.Builder.build b
+
+let fig3 =
+  let b = Petri.Builder.create "fig3" in
+  let p1 = Petri.Builder.place b ~marked:true "p1" in
+  let p2 = Petri.Builder.place b "p2" in
+  let p3 = Petri.Builder.place b "p3" in
+  let p4 = Petri.Builder.place b "p4" in
+  let p5 = Petri.Builder.place b "p5" in
+  let p6 = Petri.Builder.place b "p6" in
+  transition b "A" ~pre:[ p1 ] ~post:[ p2; p3 ];
+  transition b "B" ~pre:[ p1 ] ~post:[ p4 ];
+  transition b "C" ~pre:[ p2; p3 ] ~post:[ p5 ];
+  transition b "D" ~pre:[ p3; p4 ] ~post:[ p6 ];
+  Petri.Builder.build b
+
+let fig5 =
+  let b = Petri.Builder.create "fig5" in
+  let p0 = Petri.Builder.place b ~marked:true "p0" in
+  let p1 = Petri.Builder.place b ~marked:true "p1" in
+  let p2 = Petri.Builder.place b "p2" in
+  let p3 = Petri.Builder.place b "p3" in
+  let p4 = Petri.Builder.place b "p4" in
+  transition b "A" ~pre:[ p0; p1 ] ~post:[ p3 ];
+  transition b "B" ~pre:[ p1; p2 ] ~post:[ p4 ];
+  Petri.Builder.build b
+
+let fig7 =
+  let b = Petri.Builder.create "fig7" in
+  let p0 = Petri.Builder.place b ~marked:true "p0" in
+  let p1 = Petri.Builder.place b "p1" in
+  let p2 = Petri.Builder.place b "p2" in
+  let p3 = Petri.Builder.place b ~marked:true "p3" in
+  let p4 = Petri.Builder.place b "p4" in
+  let p5 = Petri.Builder.place b "p5" in
+  transition b "A" ~pre:[ p0 ] ~post:[ p1 ];
+  transition b "B" ~pre:[ p0 ] ~post:[ p2 ];
+  transition b "C" ~pre:[ p1; p3 ] ~post:[ p4 ];
+  transition b "D" ~pre:[ p2; p3 ] ~post:[ p5 ];
+  Petri.Builder.build b

@@ -1,0 +1,34 @@
+(** The illustration nets of the paper's figures.
+
+    These small nets are used by the unit tests to replay, step by
+    step, the worked examples of Sections 2 and 3, and by the figure
+    benches to regenerate the state-count series. *)
+
+val fig1 : Petri.Net.t
+(** Figure 1(a): three concurrently enabled independent transitions
+    [A, B, C].  Its full reachability graph (Figure 1(b)) has 8
+    markings and 3! = 6 maximal interleavings; partial-order analysis
+    needs a single path of 4 states. *)
+
+val fig2 : int -> Petri.Net.t
+(** Figure 2(a) with parameter [N]: [N] concurrently marked conflict
+    places [c.i], each feeding a conflicting pair [A.i]/[B.i].  The
+    full graph has [3^N] states, the partial-order graph [2^(N+1) - 1]
+    states, and GPO needs 2 (Section 3.1). *)
+
+val fig3 : Petri.Net.t
+(** Figure 3: [p1] (marked) feeds conflicting [A] (→ [p2], [p3]) and
+    [B] (→ [p4]); [C : p2, p3 → p5] continues the [A]-path while
+    [D : p3, p4 → p6] mixes conflicting colors and must never fire.
+    [p0] of Figure 4 is the marked input place. *)
+
+val fig5 : Petri.Net.t
+(** Figure 5: conflicting [A]/[B] compete for [p0]; [A] additionally
+    needs [p1] and [B] needs [p2]; used to illustrate the single
+    firing rule ([A] single-enabled, [B] not). *)
+
+val fig7 : Petri.Net.t
+(** Figure 7: two concurrently marked conflict places — [p0] feeding
+    the pair [A]/[B] and [p3] feeding the pair [C]/[D], with
+    [A → p1 → C] and [B → p2 → D]; the multiple firing of [{A,B}] then
+    [{C,D}] narrows the valid sets to [{{A,C},{B,D}}]. *)

@@ -1,0 +1,29 @@
+(* Rendezvous-style model (forks are server tasks, as in Corbett's Ada
+   benchmark suite the paper cites): requesting a fork and being granted
+   it are separate steps, which reproduces the state-count growth of
+   Table 1 (≈ ×18 per two philosophers). *)
+let make n =
+  if n < 2 then invalid_arg "Nsdp.make: need at least 2 philosophers";
+  let b = Petri.Builder.create (Printf.sprintf "nsdp-%d" n) in
+  let place ?marked fmt = Printf.ksprintf (Petri.Builder.place b ?marked) fmt in
+  let think = Array.init n (fun i -> place ~marked:true "think.%d" i) in
+  let askL = Array.init n (fun i -> place "askL.%d" i) in
+  let gotL = Array.init n (fun i -> place "gotL.%d" i) in
+  let askR = Array.init n (fun i -> place "askR.%d" i) in
+  let eat = Array.init n (fun i -> place "eat.%d" i) in
+  let fork = Array.init n (fun i -> place ~marked:true "fork.%d" i) in
+  for i = 0 to n - 1 do
+    let right = (i + 1) mod n in
+    let transition fmt = Printf.ksprintf (fun s -> fun ~pre ~post ->
+        ignore (Petri.Builder.transition b s ~pre ~post)) fmt in
+    transition "hungry.%d" i ~pre:[ think.(i) ] ~post:[ askL.(i) ];
+    transition "takeL.%d" i ~pre:[ askL.(i); fork.(i) ] ~post:[ gotL.(i) ];
+    transition "reach.%d" i ~pre:[ gotL.(i) ] ~post:[ askR.(i) ];
+    transition "takeR.%d" i ~pre:[ askR.(i); fork.(right) ] ~post:[ eat.(i) ];
+    transition "release.%d" i
+      ~pre:[ eat.(i) ]
+      ~post:[ think.(i); fork.(i); fork.(right) ]
+  done;
+  Petri.Builder.build b
+
+let sizes = [ 2; 4; 6; 8; 10 ]

@@ -1,0 +1,30 @@
+(** Non-Serialized Dining Philosophers (NSDP).
+
+    The deadlock-prone dining philosophers: each of the [n]
+    philosophers grabs the left fork, then the right fork, as two
+    separate (non-serialized) actions, and releases both after eating.
+    The circular wait where everybody holds the left fork is a
+    reachable deadlock.
+
+    The model follows the Ada-task structure of Corbett's benchmark
+    suite (forks are server tasks, so requesting a fork and being
+    granted it are separate steps).  Per philosopher [i] (mod [n]):
+    - places [think.i] (marked), [askL.i], [gotL.i], [askR.i], [eat.i],
+      and the shared [fork.i] (marked);
+    - [hungry.i  : think.i → askL.i]
+    - [takeL.i   : askL.i, fork.i → gotL.i]
+    - [reach.i   : gotL.i → askR.i]
+    - [takeR.i   : askR.i, fork.(i+1) → eat.i]
+    - [release.i : eat.i → think.i, fork.i, fork.(i+1)]
+
+    Fork [i] is a conflict place shared by [takeL.i] and
+    [takeR.(i-1)]; the [n] conflict clusters are marked concurrently,
+    which defeats classical partial-order reduction but is ideal for
+    GPO (Table 1 of the paper reports a constant 3 GPO states). *)
+
+val make : int -> Petri.Net.t
+(** [make n] builds the [n]-philosopher net ([n ≥ 2];
+    [Invalid_argument] otherwise). *)
+
+val sizes : int list
+(** Instance sizes used in Table 1 of the paper: [2; 4; 6; 8; 10]. *)

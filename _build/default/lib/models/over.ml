@@ -1,0 +1,33 @@
+let make n =
+  if n < 2 then invalid_arg "Over.make: need at least 2 vehicles";
+  let b = Petri.Builder.create (Printf.sprintf "over-%d" n) in
+  let place ?marked fmt = Printf.ksprintf (Petri.Builder.place b ?marked) fmt in
+  let transition name ~pre ~post = ignore (Petri.Builder.transition b name ~pre ~post) in
+  let free = Array.init n (fun i -> place ~marked:true "free.%d" i) in
+  (* Concurrent driver activity: every vehicle keeps polling its
+     mirrors, but may only resume normal driving while it is not
+     engaged in a manoeuvre (read arc on [free]).  This gives the full
+     reachability graph its exponential interleaving blow-up and makes
+     [resume] compete with the handshake for the [free] places. *)
+  for i = 0 to n - 1 do
+    let drive = place ~marked:true "drive.%d" i in
+    let scan = place "scan.%d" i in
+    transition (Printf.sprintf "poll.%d" i) ~pre:[ drive ] ~post:[ scan ];
+    transition (Printf.sprintf "resume.%d" i)
+      ~pre:[ scan; free.(i) ]
+      ~post:[ drive; free.(i) ]
+  done;
+  for i = 0 to n - 2 do
+    let want = place "want.%d" i in
+    let msg = place "msg.%d" i in
+    let ok = place "ok.%d" i in
+    let pass = place "pass.%d" i in
+    transition (Printf.sprintf "req.%d" i) ~pre:[ free.(i) ] ~post:[ want; msg ];
+    transition (Printf.sprintf "accept.%d" i) ~pre:[ msg; free.(i + 1) ] ~post:[ ok ];
+    transition (Printf.sprintf "cancel.%d" i) ~pre:[ want; msg ] ~post:[ free.(i) ];
+    transition (Printf.sprintf "go.%d" i) ~pre:[ want; ok ] ~post:[ pass ];
+    transition (Printf.sprintf "done.%d" i) ~pre:[ pass ] ~post:[ free.(i); free.(i + 1) ]
+  done;
+  Petri.Builder.build b
+
+let sizes = [ 2; 3; 4; 5 ]

@@ -1,0 +1,28 @@
+(** Overtake protocol (OVER).
+
+    A line of [n] vehicles coordinating overtake manoeuvres with an
+    asynchronous request/accept/cancel handshake (rebuilt from the
+    description of Corbett's benchmark suite, reference [4] of the
+    paper).  Vehicle [i < n-1] may request to overtake its right
+    neighbour; the neighbour accepts when free, or the requester may
+    cancel a pending request.  Accepting locks both vehicles for the
+    manoeuvre; completion frees them.
+
+    Per vehicle [i]: place [free.i] (marked).  Per pair [(i, i+1)]:
+    - [req.i    : free.i → want.i, msg.i]
+    - [accept.i : msg.i, free.(i+1) → ok.i]     (conflicts with [req.(i+1)] and [cancel.i])
+    - [cancel.i : want.i, msg.i → free.i]
+    - [go.i     : want.i, ok.i → pass.i]
+    - [done.i   : pass.i → free.i, free.(i+1)]
+
+    The conflicts chain along the line ([free.(i+1)] is shared by
+    [accept.i] and [req.(i+1)]; [msg.i] by [accept.i] and [cancel.i]),
+    so many conflict places are marked concurrently.  The protocol is
+    deadlock-free thanks to [cancel]. *)
+
+val make : int -> Petri.Net.t
+(** [make n] builds the [n]-vehicle net ([n ≥ 2]; [Invalid_argument]
+    otherwise). *)
+
+val sizes : int list
+(** Instance sizes used in Table 1 of the paper: [2; 3; 4; 5]. *)

@@ -1,0 +1,48 @@
+type spec = {
+  components : int;
+  states_per_component : int;
+  transitions : int;
+  max_sync : int;
+}
+
+let default_spec =
+  { components = 3; states_per_component = 3; transitions = 8; max_sync = 2 }
+
+let generate ?(spec = default_spec) seed =
+  if spec.components < 1 || spec.states_per_component < 1 || spec.transitions < 1
+     || spec.max_sync < 1
+  then invalid_arg "Random_net.generate: malformed spec";
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let b = Petri.Builder.create (Printf.sprintf "random-%d" seed) in
+  (* places.(c).(s) is local state [s] of component [c]; state 0 is
+     initially marked. *)
+  let places =
+    Array.init spec.components (fun c ->
+        Array.init spec.states_per_component (fun s ->
+            Petri.Builder.place b
+              ~marked:(s = 0)
+              (Printf.sprintf "c%d.s%d" c s)))
+  in
+  for t = 0 to spec.transitions - 1 do
+    let width = min spec.max_sync spec.components in
+    let n_sync = 1 + Random.State.int rng width in
+    (* Choose [n_sync] distinct components. *)
+    let chosen = Array.init spec.components (fun c -> c) in
+    for i = 0 to spec.components - 2 do
+      let j = i + Random.State.int rng (spec.components - i) in
+      let tmp = chosen.(i) in
+      chosen.(i) <- chosen.(j);
+      chosen.(j) <- tmp
+    done;
+    let pre = ref [] and post = ref [] in
+    for i = 0 to n_sync - 1 do
+      let c = chosen.(i) in
+      let from_state = Random.State.int rng spec.states_per_component in
+      let to_state = Random.State.int rng spec.states_per_component in
+      pre := places.(c).(from_state) :: !pre;
+      post := places.(c).(to_state) :: !post
+    done;
+    ignore
+      (Petri.Builder.transition b (Printf.sprintf "t%d" t) ~pre:!pre ~post:!post)
+  done;
+  Petri.Builder.build b

@@ -1,0 +1,27 @@
+let make n =
+  if n < 2 then invalid_arg "Rw.make: need at least 2 processes";
+  let b = Petri.Builder.create (Printf.sprintf "rw-%d" n) in
+  let place ?marked fmt = Printf.ksprintf (Petri.Builder.place b ?marked) fmt in
+  let transition name ~pre ~post = ignore (Petri.Builder.transition b name ~pre ~post) in
+  let idle = Array.init n (fun i -> place ~marked:true "idle.%d" i) in
+  let permit = Array.init n (fun i -> place ~marked:true "permit.%d" i) in
+  let all_permits = Array.to_list permit in
+  for i = 0 to n - 1 do
+    let reading = place "reading.%d" i in
+    let writing = place "writing.%d" i in
+    transition (Printf.sprintf "startR.%d" i)
+      ~pre:[ idle.(i); permit.(i) ]
+      ~post:[ reading ];
+    transition (Printf.sprintf "endR.%d" i)
+      ~pre:[ reading ]
+      ~post:[ idle.(i); permit.(i) ];
+    transition (Printf.sprintf "startW.%d" i)
+      ~pre:(idle.(i) :: all_permits)
+      ~post:[ writing ];
+    transition (Printf.sprintf "endW.%d" i)
+      ~pre:[ writing ]
+      ~post:(idle.(i) :: all_permits)
+  done;
+  Petri.Builder.build b
+
+let sizes = [ 6; 9; 12; 15 ]

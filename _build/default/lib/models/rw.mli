@@ -1,0 +1,24 @@
+(** Readers and Writers (RW).
+
+    [n] processes share a store through [n] read permits: a reader
+    takes its own permit, a writer takes {e all} permits (rebuilt from
+    the description of Corbett's benchmark suite, reference [4] of the
+    paper).  Per process [i]:
+    - [startR.i : idle.i, permit.i → reading.i]
+    - [endR.i   : reading.i → idle.i, permit.i]
+    - [startW.i : idle.i, permit.0 … permit.(n-1) → writing.i]
+    - [endW.i   : writing.i → idle.i, permit.0 … permit.(n-1)]
+
+    Every [startW] conflicts with every other start transition (they
+    all compete for permits), so the conflict relation has a single
+    giant cluster and classical partial-order reduction degenerates —
+    the reduced graph equals the full graph, exactly the behaviour
+    Table 1 reports for SPIN+PO on RW.  GPO still collapses the
+    exploration to a couple of states.  The net is deadlock-free. *)
+
+val make : int -> Petri.Net.t
+(** [make n] builds the [n]-process net ([n ≥ 2]; [Invalid_argument]
+    otherwise). *)
+
+val sizes : int list
+(** Instance sizes used in Table 1 of the paper: [6; 9; 12; 15]. *)

@@ -1,0 +1,20 @@
+(* Conflict-free by construction: the scheduler exhibits the paper's
+   {e first} source of explosion (pure concurrency, Section 2.2) with no
+   conflict places at all, so both stubborn sets and GPO collapse it to
+   a linear exploration while the full graph is exponential. *)
+let make n =
+  if n < 2 then invalid_arg "Scheduler.make: need at least 2 cells";
+  let b = Petri.Builder.create (Printf.sprintf "scheduler-%d" n) in
+  let place ?marked fmt = Printf.ksprintf (Petri.Builder.place b ?marked) fmt in
+  let transition name ~pre ~post = ignore (Petri.Builder.transition b name ~pre ~post) in
+  let token = Array.init n (fun i -> place ~marked:(i = 0) "token.%d" i) in
+  let ready = Array.init n (fun i -> place ~marked:true "ready.%d" i) in
+  let busy = Array.init n (fun i -> place "busy.%d" i) in
+  for i = 0 to n - 1 do
+    transition
+      (Printf.sprintf "start.%d" i)
+      ~pre:[ token.(i); ready.(i) ]
+      ~post:[ busy.(i); token.((i + 1) mod n) ];
+    transition (Printf.sprintf "finish.%d" i) ~pre:[ busy.(i) ] ~post:[ ready.(i) ]
+  done;
+  Petri.Builder.build b

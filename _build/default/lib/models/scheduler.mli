@@ -1,0 +1,23 @@
+(** Milner's cyclic scheduler.
+
+    A classic partial-order benchmark: [n] cells arranged in a ring
+    schedule [n] tasks so that task starts happen in cyclic order while
+    the tasks themselves run concurrently.  Each cell waits for the
+    ring token, starts its task, passes the token on, waits for its
+    task to finish and for its next turn.
+
+    Per cell [i] (indices mod [n]):
+    - [token.0] is marked (cell 0 owns the ring token initially);
+    - [start.i : token.i, task_idle.i → task_busy.i, pass.i]
+    - [hand.i  : pass.i → token.(i+1)]
+    - [finish.i : task_busy.i → task_done.i]
+    - [reset.i : task_done.i, turn.i → task_idle.i, ...]
+
+    The net is deadlock-free and safe; its full state space grows
+    exponentially with [n] (the tasks run concurrently) while the
+    scheduler's control is a simple ring — exactly the shape
+    partial-order and GPO analyses exploit. *)
+
+val make : int -> Petri.Net.t
+(** [make n] builds the [n]-cell scheduler ([n ≥ 2];
+    [Invalid_argument] otherwise). *)

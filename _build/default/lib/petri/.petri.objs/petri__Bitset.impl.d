@@ -1,0 +1,1 @@
+lib/petri/bitset.ml: Array Format Int List Printf Stdlib Sys

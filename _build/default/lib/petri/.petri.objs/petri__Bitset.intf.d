@@ -1,0 +1,1 @@
+lib/petri/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/petri/builder.ml: Array Hashtbl List Net Printf

@@ -1,0 +1,1 @@
+lib/petri/builder.mli: Net

@@ -1,0 +1,1 @@
+lib/petri/conflict.ml: Array Bitset Format List Net

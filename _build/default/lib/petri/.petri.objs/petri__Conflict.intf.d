@@ -1,0 +1,1 @@
+lib/petri/conflict.mli: Bitset Format Net

@@ -1,0 +1,1 @@
+lib/petri/dot.ml: Array Bitset Buffer List Net Option Printf Reachability Semantics String

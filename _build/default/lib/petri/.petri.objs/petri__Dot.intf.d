@@ -1,0 +1,1 @@
+lib/petri/dot.mli: Bitset Net Reachability

@@ -1,0 +1,1 @@
+lib/petri/invariant.ml: Array Bitset Format List Net Seq

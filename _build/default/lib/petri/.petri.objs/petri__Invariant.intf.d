@@ -1,0 +1,1 @@
+lib/petri/invariant.mli: Bitset Format Net

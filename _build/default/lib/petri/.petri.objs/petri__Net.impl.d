@@ -1,0 +1,1 @@
+lib/petri/net.ml: Array Bitset Format Hashtbl List Printf String

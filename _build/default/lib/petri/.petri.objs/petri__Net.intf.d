@@ -1,0 +1,1 @@
+lib/petri/net.mli: Bitset Format

@@ -1,0 +1,1 @@
+lib/petri/parser.ml: Array Bitset Buffer Builder Filename List Net Printf String

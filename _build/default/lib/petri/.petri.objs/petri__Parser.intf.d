@@ -1,0 +1,1 @@
+lib/petri/parser.mli: Net

@@ -1,0 +1,1 @@
+lib/petri/properties.ml: Bitset Format List Net Queue Reachability Semantics

@@ -1,0 +1,1 @@
+lib/petri/properties.mli: Bitset Format Net

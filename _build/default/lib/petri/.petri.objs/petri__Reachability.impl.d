@@ -1,0 +1,1 @@
+lib/petri/reachability.ml: Bitset Format Hashtbl List Net Queue Semantics

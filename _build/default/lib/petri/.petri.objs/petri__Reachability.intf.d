@@ -1,0 +1,1 @@
+lib/petri/reachability.mli: Bitset Format Hashtbl Net

@@ -1,0 +1,1 @@
+lib/petri/safety.ml: Array Bitset Builder List Net Option Reachability

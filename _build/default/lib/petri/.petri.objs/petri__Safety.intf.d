@@ -1,0 +1,1 @@
+lib/petri/safety.mli: Net

@@ -1,0 +1,1 @@
+lib/petri/semantics.ml: Array Bitset List Net

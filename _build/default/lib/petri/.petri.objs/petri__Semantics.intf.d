@@ -1,0 +1,1 @@
+lib/petri/semantics.mli: Bitset Net

@@ -1,0 +1,1 @@
+lib/petri/siphon.ml: Array Bitset Int List Net

@@ -1,0 +1,1 @@
+lib/petri/siphon.mli: Bitset Net

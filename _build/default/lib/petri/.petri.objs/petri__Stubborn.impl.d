@@ -1,0 +1,1 @@
+lib/petri/stubborn.ml: Array Bitset Conflict List Net Queue Reachability Semantics

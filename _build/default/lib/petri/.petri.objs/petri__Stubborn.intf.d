@@ -1,0 +1,1 @@
+lib/petri/stubborn.mli: Bitset Conflict Net Reachability

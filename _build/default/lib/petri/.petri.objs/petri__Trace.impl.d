@@ -1,0 +1,1 @@
+lib/petri/trace.ml: Format List Net Printf Semantics

@@ -1,0 +1,1 @@
+lib/petri/trace.mli: Bitset Format Net

@@ -1,0 +1,153 @@
+(* Immutable bit sets backed by an int array.  Bit [i] lives in word
+   [i / bits_per_word] at position [i mod bits_per_word].  Unused high bits
+   of the last word are kept at zero so that [equal]/[compare]/[hash] can
+   work word-wise without masking. *)
+
+let bits_per_word = Sys.int_size
+
+type t = { width : int; words : int array }
+
+let width s = s.width
+
+let n_words width =
+  if width = 0 then 0 else ((width - 1) / bits_per_word) + 1
+
+let empty width =
+  if width < 0 then invalid_arg "Bitset.empty: negative width";
+  { width; words = Array.make (n_words width) 0 }
+
+let check_elt fname width i =
+  if i < 0 || i >= width then
+    invalid_arg (Printf.sprintf "Bitset.%s: element %d outside [0,%d)" fname i width)
+
+let full width =
+  let s = empty width in
+  let words = Array.copy s.words in
+  for w = 0 to Array.length words - 1 do
+    let lo = w * bits_per_word in
+    let hi = min width (lo + bits_per_word) in
+    let bits = hi - lo in
+    words.(w) <- (if bits = bits_per_word then -1 else (1 lsl bits) - 1)
+  done;
+  { width; words }
+
+let mem i s =
+  check_elt "mem" s.width i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add i s =
+  check_elt "add" s.width i;
+  let w = i / bits_per_word and b = 1 lsl (i mod bits_per_word) in
+  if s.words.(w) land b <> 0 then s
+  else begin
+    let words = Array.copy s.words in
+    words.(w) <- words.(w) lor b;
+    { s with words }
+  end
+
+let remove i s =
+  check_elt "remove" s.width i;
+  let w = i / bits_per_word and b = 1 lsl (i mod bits_per_word) in
+  if s.words.(w) land b = 0 then s
+  else begin
+    let words = Array.copy s.words in
+    words.(w) <- words.(w) land lnot b;
+    { s with words }
+  end
+
+let singleton width i = add i (empty width)
+
+let of_list width elements = List.fold_left (fun s i -> add i s) (empty width) elements
+
+let of_array width elements = Array.fold_left (fun s i -> add i s) (empty width) elements
+
+let check_widths fname a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: width mismatch (%d vs %d)" fname a.width b.width)
+
+let binop fname op a b =
+  check_widths fname a b;
+  { width = a.width; words = Array.map2 op a.words b.words }
+
+let union a b = binop "union" ( lor ) a b
+let inter a b = binop "inter" ( land ) a b
+let diff a b = binop "diff" (fun x y -> x land lnot y) a b
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash s =
+  (* Word-wise polynomial hash; cheap and well distributed for the sizes
+     encountered in net analysis (a few words). *)
+  Array.fold_left (fun h w -> (h * 486187739) + (w lxor (w lsr 31))) s.width s.words
+
+let rec subset_words wa wb i =
+  i < 0 || (wa.(i) land lnot wb.(i) = 0 && subset_words wa wb (i - 1))
+
+let subset a b =
+  check_widths "subset" a b;
+  subset_words a.words b.words (Array.length a.words - 1)
+
+let rec disjoint_words wa wb i =
+  i < 0 || (wa.(i) land wb.(i) = 0 && disjoint_words wa wb (i - 1))
+
+let disjoint a b =
+  check_widths "disjoint" a b;
+  disjoint_words a.words b.words (Array.length a.words - 1)
+
+let intersects a b = not (disjoint a b)
+
+let popcount word =
+  let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in
+  loop word 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = ref s.words.(w) in
+    while !word <> 0 do
+      let lsb = !word land - !word in
+      let rec bit_index b i = if b = 1 then i else bit_index (b lsr 1) (i + 1) in
+      f ((w * bits_per_word) + bit_index lsb 0);
+      word := !word land (!word - 1)
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let choose s =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) s;
+    raise Not_found
+  with Found i -> i
+
+let for_all p s =
+  let exception Fail in
+  try
+    iter (fun i -> if not (p i) then raise Fail) s;
+    true
+  with Fail -> false
+
+let exists p s = not (for_all (fun i -> not (p i)) s)
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let pp ?(name = string_of_int) () ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf i -> Format.pp_print_string ppf (name i)))
+    (elements s)
+
+let to_string ?name s = Format.asprintf "%a" (pp ?name ()) s

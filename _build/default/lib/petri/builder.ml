@@ -1,0 +1,69 @@
+type t = {
+  name : string;
+  mutable places : string list;  (* reversed *)
+  mutable n_places : int;
+  mutable transitions : (string * Net.place array * Net.place array) list;  (* reversed *)
+  mutable n_transitions : int;
+  mutable marked : Net.place list;
+  mutable frozen : bool;
+  place_by_name : (string, Net.place) Hashtbl.t;
+  transition_names : (string, unit) Hashtbl.t;
+}
+
+let create name =
+  {
+    name;
+    places = [];
+    n_places = 0;
+    transitions = [];
+    n_transitions = 0;
+    marked = [];
+    frozen = false;
+    place_by_name = Hashtbl.create 64;
+    transition_names = Hashtbl.create 64;
+  }
+
+let check_live b fname =
+  if b.frozen then invalid_arg (Printf.sprintf "Builder.%s: builder already built" fname)
+
+let place b ?(marked = false) name =
+  check_live b "place";
+  if Hashtbl.mem b.place_by_name name then
+    invalid_arg (Printf.sprintf "Builder.place: duplicate place %S" name);
+  let p = b.n_places in
+  b.places <- name :: b.places;
+  b.n_places <- p + 1;
+  Hashtbl.add b.place_by_name name p;
+  if marked then b.marked <- p :: b.marked;
+  p
+
+let check_place b fname p =
+  if p < 0 || p >= b.n_places then
+    invalid_arg (Printf.sprintf "Builder.%s: unknown place index %d" fname p)
+
+let transition b name ~pre ~post =
+  check_live b "transition";
+  if Hashtbl.mem b.transition_names name then
+    invalid_arg (Printf.sprintf "Builder.transition: duplicate transition %S" name);
+  List.iter (check_place b "transition") pre;
+  List.iter (check_place b "transition") post;
+  Hashtbl.add b.transition_names name ();
+  let t = b.n_transitions in
+  b.transitions <- (name, Array.of_list pre, Array.of_list post) :: b.transitions;
+  b.n_transitions <- t + 1;
+  t
+
+let mark b p =
+  check_live b "mark";
+  check_place b "mark" p;
+  b.marked <- p :: b.marked
+
+let build b =
+  check_live b "build";
+  b.frozen <- true;
+  let transitions = Array.of_list (List.rev b.transitions) in
+  Net.make ~name:b.name
+    ~place_names:(Array.of_list (List.rev b.places))
+    ~transition_names:(Array.map (fun (n, _, _) -> n) transitions)
+    ~arcs:(Array.mapi (fun t (_, pre, post) -> (t, pre, post)) transitions)
+    ~initial:b.marked

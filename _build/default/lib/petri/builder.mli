@@ -1,0 +1,37 @@
+(** Imperative construction of {!Net.t} values.
+
+    A builder accumulates places, transitions and arcs, then {!build}
+    freezes the result.  Names must be unique per kind.  Example:
+
+    {[
+      let b = Builder.create "handshake" in
+      let p0 = Builder.place b ~marked:true "p0" in
+      let p1 = Builder.place b "p1" in
+      ignore (Builder.transition b "send" ~pre:[ p0 ] ~post:[ p1 ]);
+      let net = Builder.build b
+    ]} *)
+
+type t
+
+val create : string -> t
+(** [create name] starts an empty net named [name]. *)
+
+val place : t -> ?marked:bool -> string -> Net.place
+(** [place b name] declares a new place and returns its index.
+    [marked] (default [false]) puts a token in it in the initial marking.
+    Raises [Invalid_argument] on a duplicate name or if {!build} was
+    already called. *)
+
+val transition :
+  t -> string -> pre:Net.place list -> post:Net.place list -> Net.transition
+(** [transition b name ~pre ~post] declares a transition with the given
+    preset and postset and returns its index.  Raises [Invalid_argument]
+    on a duplicate name, an unknown place, or if {!build} was already
+    called. *)
+
+val mark : t -> Net.place -> unit
+(** [mark b p] adds a token to [p] in the initial marking. *)
+
+val build : t -> Net.t
+(** Freeze the builder into an immutable net.  The builder must not be
+    used afterwards. *)

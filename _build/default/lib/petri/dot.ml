@@ -1,0 +1,61 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let net ?marking (n : Net.t) =
+  let marking = Option.value marking ~default:n.initial in
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %S {\n  rankdir=LR;\n" n.name;
+  for p = 0 to n.n_places - 1 do
+    out "  p%d [label=\"%s\" shape=circle%s];\n" p
+      (escape n.place_names.(p))
+      (if Bitset.mem p marking then " style=filled fillcolor=gray80 peripheries=2"
+       else "")
+  done;
+  for t = 0 to n.n_transitions - 1 do
+    out "  t%d [label=\"%s\" shape=box style=filled fillcolor=black fontcolor=white height=0.2];\n"
+      t
+      (escape n.transition_names.(t));
+    Array.iter (fun p -> out "  p%d -> t%d;\n" p t) n.pre_list.(t);
+    Array.iter (fun p -> out "  t%d -> p%d;\n" t p) n.post_list.(t)
+  done;
+  out "}\n";
+  Buffer.contents buf
+
+let reachability_graph (n : Net.t) (result : Reachability.result) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %S {\n" (n.name ^ "-rg");
+  if result.states > 2000 then out "  // warning: %d states, rendering will be slow\n" result.states;
+  let ids = Reachability.Marking_table.create result.states in
+  let next_id = ref 0 in
+  let id_of m =
+    match Reachability.Marking_table.find_opt ids m with
+    | Some i -> i
+    | None ->
+        let i = !next_id in
+        incr next_id;
+        Reachability.Marking_table.add ids m i;
+        let label = escape (Bitset.to_string ~name:(Net.place_name n) m) in
+        let dead = Semantics.is_deadlock n m in
+        out "  s%d [label=\"%s\"%s%s];\n" i label
+          (if Bitset.equal m n.initial then " penwidth=2" else "")
+          (if dead then " style=filled fillcolor=lightcoral" else "");
+        i
+  in
+  Reachability.Marking_table.iter
+    (fun m () ->
+      let src = id_of m in
+      List.iter
+        (fun (t, m') ->
+          if Reachability.Marking_table.mem result.visited m' then
+            out "  s%d -> s%d [label=\"%s\"];\n" src (id_of m')
+              (escape n.transition_names.(t)))
+        (Semantics.successors n m))
+    result.visited;
+  out "}\n";
+  Buffer.contents buf
+
+let write path dot =
+  let oc = open_out path in
+  output_string oc dot;
+  close_out oc

@@ -1,0 +1,14 @@
+(** Graphviz export for nets and reachability graphs. *)
+
+val net : ?marking:Bitset.t -> Net.t -> string
+(** [net ?marking n] renders the net structure in DOT: places as
+    circles (filled when marked — default marking is [n.initial]),
+    transitions as boxes, the flow relation as arrows. *)
+
+val reachability_graph : Net.t -> Reachability.result -> string
+(** Render the explored state graph: one node per visited marking
+    (labelled with the marked places), one edge per firing.  Intended
+    for small graphs; emits a warning comment beyond 2000 states. *)
+
+val write : string -> string -> unit
+(** [write path dot] writes a DOT string to a file. *)

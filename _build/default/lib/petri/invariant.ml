@@ -1,0 +1,230 @@
+(* Exact linear algebra over the rationals, specialised to the small dense
+   matrices arising from net structure.  Rationals are (num, den) pairs of
+   ints kept in lowest terms with den > 0; net sizes in this library keep
+   the numbers far from overflow. *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+module Rat = struct
+  (* A rational is an (num, den) pair with den > 0 and num/den in lowest
+     terms; values are built with [make] or the arithmetic below. *)
+
+  let zero = (0, 1)
+
+  let make n d =
+    assert (d <> 0);
+    let s = if d < 0 then -1 else 1 in
+    let n = s * n and d = s * d in
+    let g = gcd n d in
+    if g = 0 then (0, 1) else (n / g, d / g)
+
+  let of_int n = (n, 1)
+  let is_zero (n, _) = n = 0
+  let add (a, b) (c, d) = make ((a * d) + (c * b)) (b * d)
+  let mul (a, b) (c, d) = make (a * c) (b * d)
+  let neg (a, b) = (-a, b)
+  let div (a, b) (c, d) = assert (c <> 0); make (a * d) (b * c)
+  let sub x y = add x (neg y)
+end
+
+(* Basis of the null space of [m] (rows × cols), as rational vectors of
+   length [cols], by Gauss-Jordan elimination. *)
+let nullspace_rat (m : int array array) ~cols =
+  let rows = Array.length m in
+  let a = Array.init rows (fun i -> Array.map Rat.of_int m.(i)) in
+  let pivot_col = Array.make rows (-1) in
+  let row = ref 0 in
+  for col = 0 to cols - 1 do
+    if !row < rows then begin
+      (* Find a pivot in this column at or below !row. *)
+      let p = ref (-1) in
+      for i = !row to rows - 1 do
+        if !p < 0 && not (Rat.is_zero a.(i).(col)) then p := i
+      done;
+      if !p >= 0 then begin
+        let tmp = a.(!p) in
+        a.(!p) <- a.(!row);
+        a.(!row) <- tmp;
+        let inv = Rat.div (Rat.of_int 1) a.(!row).(col) in
+        for j = 0 to cols - 1 do
+          a.(!row).(j) <- Rat.mul a.(!row).(j) inv
+        done;
+        for i = 0 to rows - 1 do
+          if i <> !row && not (Rat.is_zero a.(i).(col)) then begin
+            let f = a.(i).(col) in
+            for j = 0 to cols - 1 do
+              a.(i).(j) <- Rat.sub a.(i).(j) (Rat.mul f a.(!row).(j))
+            done
+          end
+        done;
+        pivot_col.(!row) <- col;
+        incr row
+      end
+    end
+  done;
+  let n_pivots = !row in
+  let is_pivot = Array.make cols false in
+  for i = 0 to n_pivots - 1 do
+    is_pivot.(pivot_col.(i)) <- true
+  done;
+  (* One basis vector per free column. *)
+  let basis = ref [] in
+  for free = cols - 1 downto 0 do
+    if not is_pivot.(free) then begin
+      let v = Array.make cols Rat.zero in
+      v.(free) <- Rat.of_int 1;
+      for i = 0 to n_pivots - 1 do
+        v.(pivot_col.(i)) <- Rat.neg a.(i).(free)
+      done;
+      basis := v :: !basis
+    end
+  done;
+  !basis
+
+(* Scale a rational vector to coprime integers with positive first
+   non-zero coefficient. *)
+let to_integer_vector v =
+  let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b in
+  let denominator = Array.fold_left (fun acc (_, d) -> lcm acc d) 1 v in
+  let ints = Array.map (fun (n, d) -> n * (denominator / d)) v in
+  let g = Array.fold_left (fun acc x -> gcd acc x) 0 ints in
+  let ints = if g > 1 then Array.map (fun x -> x / g) ints else ints in
+  let rec first_sign i =
+    if i >= Array.length ints then 1 else if ints.(i) <> 0 then compare ints.(i) 0 else first_sign (i + 1)
+  in
+  if first_sign 0 < 0 then Array.map (fun x -> -x) ints else ints
+
+let incidence (net : Net.t) =
+  let c = Array.make_matrix net.n_places net.n_transitions 0 in
+  for t = 0 to net.n_transitions - 1 do
+    Array.iter (fun p -> c.(p).(t) <- c.(p).(t) - 1) net.pre_list.(t);
+    Array.iter (fun p -> c.(p).(t) <- c.(p).(t) + 1) net.post_list.(t)
+  done;
+  c
+
+let transpose m ~rows ~cols =
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let p_invariants net =
+  let c = incidence net in
+  let ct = transpose c ~rows:net.Net.n_places ~cols:net.Net.n_transitions in
+  List.map to_integer_vector (nullspace_rat ct ~cols:net.Net.n_places)
+
+let t_invariants net =
+  let c = incidence net in
+  List.map to_integer_vector (nullspace_rat c ~cols:net.Net.n_transitions)
+
+(* Farkas' algorithm: maintain rows [y | y·C]; combine rows pairwise to
+   cancel each transition column in turn; minimal-support non-negative
+   solutions remain. *)
+let p_semiflows ?(max_count = 4096) (net : Net.t) =
+  let n_p = net.n_places and n_t = net.n_transitions in
+  let c = incidence net in
+  (* Row = (y : int array over places, d : int array over transitions). *)
+  let initial =
+    List.init n_p (fun p ->
+        let y = Array.make n_p 0 in
+        y.(p) <- 1;
+        (y, Array.copy c.(p)))
+  in
+  let support y =
+    Array.to_seq y
+    |> Seq.mapi (fun i w -> (i, w))
+    |> Seq.filter (fun (_, w) -> w <> 0)
+    |> Seq.map fst |> List.of_seq
+  in
+  let subsumes (y1, _) (y2, _) =
+    (* support(y1) ⊆ support(y2), strictly or equal *)
+    let s1 = support y1 and s2 = support y2 in
+    List.for_all (fun p -> List.mem p s2) s1
+  in
+  let minimise rows =
+    List.filter
+      (fun r -> not (List.exists (fun r' -> r' != r && subsumes r' r) rows))
+      rows
+  in
+  let step rows t =
+    let keep = List.filter (fun (_, d) -> d.(t) = 0) rows in
+    let pos = List.filter (fun (_, d) -> d.(t) > 0) rows in
+    let neg = List.filter (fun (_, d) -> d.(t) < 0) rows in
+    let combined =
+      List.concat_map
+        (fun (y1, d1) ->
+          List.map
+            (fun (y2, d2) ->
+              let a = d1.(t) and b = -d2.(t) in
+              let g = gcd a b in
+              let f1 = b / g and f2 = a / g in
+              let y = Array.init n_p (fun p -> (f1 * y1.(p)) + (f2 * y2.(p))) in
+              let d = Array.init n_t (fun u -> (f1 * d1.(u)) + (f2 * d2.(u))) in
+              let g_all = Array.fold_left gcd (Array.fold_left gcd 0 y) d in
+              if g_all > 1 then
+                (Array.map (fun x -> x / g_all) y, Array.map (fun x -> x / g_all) d)
+              else (y, d))
+            neg)
+        pos
+    in
+    let rows = minimise (keep @ combined) in
+    if List.length rows > max_count then
+      failwith "Invariant.p_semiflows: row blow-up, raise ~max_count";
+    rows
+  in
+  let rec all_t t rows = if t >= n_t then rows else all_t (t + 1) (step rows t) in
+  let final = all_t 0 initial in
+  List.map (fun (y, _) -> y) final
+
+let dot v w =
+  let acc = ref 0 in
+  Array.iteri (fun i x -> acc := !acc + (x * w.(i))) v;
+  !acc
+
+let is_p_invariant net y =
+  if Array.length y <> net.Net.n_places then false
+  else begin
+    let c = incidence net in
+    let rec ok t =
+      t >= net.Net.n_transitions
+      || (Array.to_list c |> List.mapi (fun p row -> y.(p) * row.(t))
+          |> List.fold_left ( + ) 0 = 0)
+         && ok (t + 1)
+    in
+    ok 0
+  end
+
+let is_t_invariant net x =
+  if Array.length x <> net.Net.n_transitions then false
+  else begin
+    let c = incidence net in
+    Array.for_all (fun row -> dot row x = 0) c
+  end
+
+let invariant_value _net y m = Bitset.fold (fun p acc -> acc + y.(p)) m 0
+
+let structurally_covered net =
+  match p_semiflows net with
+  | flows ->
+      let covered = Array.make net.Net.n_places false in
+      List.iter
+        (fun y -> Array.iteri (fun p w -> if w > 0 then covered.(p) <- true) y)
+        flows;
+      Array.for_all (fun b -> b) covered
+  | exception Failure _ -> false
+
+let pp_invariant ~kind net ppf v =
+  let name i =
+    match kind with
+    | `Place -> Net.place_name net i
+    | `Transition -> Net.transition_name net i
+  in
+  let first = ref true in
+  Array.iteri
+    (fun i w ->
+      if w <> 0 then begin
+        if not !first then Format.fprintf ppf " %s " (if w > 0 then "+" else "-")
+        else if w < 0 then Format.fprintf ppf "-";
+        first := false;
+        if abs w <> 1 then Format.fprintf ppf "%d·" (abs w);
+        Format.pp_print_string ppf (name i)
+      end)
+    v;
+  if !first then Format.pp_print_string ppf "0"

@@ -1,0 +1,47 @@
+(** Structural analysis: incidence matrix, place and transition invariants.
+
+    A {e P-invariant} is an integer vector [y] over places with
+    [yᵀ · C = 0] where [C] is the incidence matrix; the weighted token
+    count [y · m] is then constant over all reachable markings.  A
+    non-negative P-invariant covering a place proves its boundedness,
+    and a net covered by P-semiflows of weight 1 per marked component is
+    structurally safe.  A {e T-invariant} is a vector [x] over
+    transitions with [C · x = 0]; firing a realizable T-invariant
+    reproduces the marking.
+
+    Invariants are computed exactly: a rational Gaussian elimination
+    gives a basis of the null space, and Farkas' algorithm enumerates
+    the minimal non-negative semiflows. *)
+
+val incidence : Net.t -> int array array
+(** [incidence net] is the [n_places × n_transitions] matrix with
+    [C.(p).(t) = (if p ∈ t• then 1 else 0) - (if p ∈ •t then 1 else 0)]. *)
+
+val p_invariants : Net.t -> int array list
+(** Basis of the integer P-invariants (null space of [Cᵀ]), each vector
+    scaled to coprime integers with positive leading coefficient. *)
+
+val t_invariants : Net.t -> int array list
+(** Basis of the integer T-invariants (null space of [C]). *)
+
+val p_semiflows : ?max_count:int -> Net.t -> int array list
+(** Minimal support non-negative P-invariants, by Farkas' algorithm.
+    [max_count] (default [4096]) caps the number of intermediate rows to
+    keep the worst-case blow-up in check; raises [Failure] when
+    exceeded. *)
+
+val is_p_invariant : Net.t -> int array -> bool
+(** Check [yᵀ · C = 0]. *)
+
+val is_t_invariant : Net.t -> int array -> bool
+(** Check [C · x = 0]. *)
+
+val invariant_value : Net.t -> int array -> Bitset.t -> int
+(** [invariant_value net y m] is the weighted token count [y · m]. *)
+
+val structurally_covered : Net.t -> bool
+(** [true] iff every place lies in the support of some P-semiflow —
+    a sufficient structural condition for boundedness of the net. *)
+
+val pp_invariant : kind:[ `Place | `Transition ] -> Net.t -> Format.formatter -> int array -> unit
+(** Print an invariant as a weighted sum of place or transition names. *)

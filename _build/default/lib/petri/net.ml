@@ -1,0 +1,110 @@
+type place = int
+type transition = int
+
+type t = {
+  name : string;
+  n_places : int;
+  n_transitions : int;
+  place_names : string array;
+  transition_names : string array;
+  pre : Bitset.t array;
+  post : Bitset.t array;
+  pre_list : place array array;
+  post_list : place array array;
+  consumers : transition array array;
+  producers : transition array array;
+  initial : Bitset.t;
+}
+
+let check_unique_names kind names =
+  let table = Hashtbl.create (Array.length names) in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem table n then
+        invalid_arg (Printf.sprintf "Net.make: duplicate %s name %S" kind n);
+      Hashtbl.add table n ())
+    names
+
+let make ~name ~place_names ~transition_names ~arcs ~initial =
+  let n_places = Array.length place_names in
+  let n_transitions = Array.length transition_names in
+  check_unique_names "place" place_names;
+  check_unique_names "transition" transition_names;
+  let pre = Array.make n_transitions (Bitset.empty n_places) in
+  let post = Array.make n_transitions (Bitset.empty n_places) in
+  let seen = Array.make n_transitions false in
+  let check_place p =
+    if p < 0 || p >= n_places then
+      invalid_arg (Printf.sprintf "Net.make: place index %d out of range" p)
+  in
+  Array.iter
+    (fun (t, inputs, outputs) ->
+      if t < 0 || t >= n_transitions then
+        invalid_arg (Printf.sprintf "Net.make: transition index %d out of range" t);
+      if seen.(t) then
+        invalid_arg
+          (Printf.sprintf "Net.make: transition %S declared twice" transition_names.(t));
+      seen.(t) <- true;
+      Array.iter check_place inputs;
+      Array.iter check_place outputs;
+      pre.(t) <- Bitset.of_array n_places inputs;
+      post.(t) <- Bitset.of_array n_places outputs)
+    arcs;
+  Array.iteri
+    (fun t found ->
+      if not found then
+        invalid_arg
+          (Printf.sprintf "Net.make: transition %S has no arcs entry" transition_names.(t)))
+    seen;
+  List.iter check_place initial;
+  let pre_list = Array.map (fun s -> Array.of_list (Bitset.elements s)) pre in
+  let post_list = Array.map (fun s -> Array.of_list (Bitset.elements s)) post in
+  let consumers_acc = Array.make n_places [] in
+  let producers_acc = Array.make n_places [] in
+  for t = n_transitions - 1 downto 0 do
+    Array.iter (fun p -> consumers_acc.(p) <- t :: consumers_acc.(p)) pre_list.(t);
+    Array.iter (fun p -> producers_acc.(p) <- t :: producers_acc.(p)) post_list.(t)
+  done;
+  {
+    name;
+    n_places;
+    n_transitions;
+    place_names;
+    transition_names;
+    pre;
+    post;
+    pre_list;
+    post_list;
+    consumers = Array.map Array.of_list consumers_acc;
+    producers = Array.map Array.of_list producers_acc;
+    initial = Bitset.of_list n_places initial;
+  }
+
+let place_name net p = net.place_names.(p)
+let transition_name net t = net.transition_names.(t)
+
+let index_of kind names n =
+  let rec search i =
+    if i >= Array.length names then
+      raise Not_found
+    else if String.equal names.(i) n then i
+    else search (i + 1)
+  in
+  ignore kind;
+  search 0
+
+let place_index net n = index_of "place" net.place_names n
+let transition_index net n = index_of "transition" net.transition_names n
+let pre net t = net.pre.(t)
+let post net t = net.post.(t)
+
+let pp_marking net ppf m = Bitset.pp ~name:(place_name net) () ppf m
+let pp_transition_set net ppf s = Bitset.pp ~name:(transition_name net) () ppf s
+
+let pp_summary ppf net =
+  let arcs =
+    Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 net.pre
+    + Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 net.post
+  in
+  Format.fprintf ppf "net %s: %d places, %d transitions, %d arcs" net.name
+    net.n_places net.n_transitions arcs

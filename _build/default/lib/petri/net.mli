@@ -1,0 +1,74 @@
+(** Safe Petri nets: structure.
+
+    A net is a tuple [⟨P, T, F, m0⟩] (Definition 2.1 of the paper).  Places
+    and transitions are identified by dense integer indices; the flow
+    relation [F] is stored as preset/postset arrays in both directions.
+    Only {e safe} nets (at most one token per place) are supported by the
+    analyses in this library; markings are therefore place sets
+    ({!Bitset.t} over places).
+
+    Construction goes through {!Builder}; a [Net.t] is immutable. *)
+
+type place = int
+(** Index of a place, in [\[0, n_places)]. *)
+
+type transition = int
+(** Index of a transition, in [\[0, n_transitions)]. *)
+
+type t = private {
+  name : string;  (** Net name, used in reports. *)
+  n_places : int;
+  n_transitions : int;
+  place_names : string array;
+  transition_names : string array;
+  pre : Bitset.t array;  (** [pre.(t)] is [•t], as a set of places. *)
+  post : Bitset.t array;  (** [post.(t)] is [t•], as a set of places. *)
+  pre_list : place array array;  (** [pre_list.(t)] is [•t], sorted. *)
+  post_list : place array array;  (** [post_list.(t)] is [t•], sorted. *)
+  consumers : transition array array;
+      (** [consumers.(p)] are the transitions with [p ∈ •t], sorted. *)
+  producers : transition array array;
+      (** [producers.(p)] are the transitions with [p ∈ t•], sorted. *)
+  initial : Bitset.t;  (** Initial marking [m0], as a set of places. *)
+}
+
+val make :
+  name:string ->
+  place_names:string array ->
+  transition_names:string array ->
+  arcs:(transition * place array * place array) array ->
+  initial:place list ->
+  t
+(** [make ~name ~place_names ~transition_names ~arcs ~initial] builds a net.
+    [arcs] gives, for every transition, its preset and postset (duplicates
+    are ignored).  Every transition index in [\[0, |transition_names|)] must
+    appear exactly once in [arcs].  Raises [Invalid_argument] on
+    malformed input (out-of-range indices, duplicate names, missing
+    transitions).  Most users should prefer {!Builder}. *)
+
+val place_name : t -> place -> string
+(** Name of a place. *)
+
+val transition_name : t -> transition -> string
+(** Name of a transition. *)
+
+val place_index : t -> string -> place
+(** Index of the place with the given name.  Raises [Not_found]. *)
+
+val transition_index : t -> string -> transition
+(** Index of the transition with the given name.  Raises [Not_found]. *)
+
+val pre : t -> transition -> Bitset.t
+(** [pre net t] is the preset [•t]. *)
+
+val post : t -> transition -> Bitset.t
+(** [post net t] is the postset [t•]. *)
+
+val pp_marking : t -> Format.formatter -> Bitset.t -> unit
+(** Pretty-print a marking with place names. *)
+
+val pp_transition_set : t -> Format.formatter -> Bitset.t -> unit
+(** Pretty-print a set of transitions with transition names. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, |P|, |T|, |F|. *)

@@ -1,0 +1,121 @@
+exception Syntax_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Syntax_error (line, msg))) fmt
+
+let is_ident_char c =
+  match c with
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '\'' | '[' | ']' | '-' -> true
+  | _ -> false
+
+let tokenize line_no line =
+  (* Split on whitespace, treating "->" and ":" as standalone tokens. *)
+  let tokens = ref [] in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n
+    else if c = ':' then begin
+      tokens := ":" :: !tokens;
+      incr i
+    end
+    else if c = '-' && !i + 1 < n && line.[!i + 1] = '>' then begin
+      tokens := "->" :: !tokens;
+      i := !i + 2
+    end
+    else if c = '(' then begin
+      let close = try String.index_from line !i ')' with Not_found -> fail line_no "unclosed '('" in
+      tokens := String.sub line !i (close - !i + 1) :: !tokens;
+      i := close + 1
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char line.[!i] do
+        incr i
+      done;
+      tokens := String.sub line start (!i - start) :: !tokens
+    end
+    else fail line_no "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+type accumulator = {
+  builder : Builder.t;
+  mutable known_places : (string * Net.place) list;
+}
+
+let get_place acc name =
+  match List.assoc_opt name acc.known_places with
+  | Some p -> p
+  | None ->
+      let p = Builder.place acc.builder name in
+      acc.known_places <- (name, p) :: acc.known_places;
+      p
+
+let parse_line acc line_no tokens =
+  match tokens with
+  | [] -> ()
+  | "net" :: _ -> () (* handled in a first pass *)
+  | [ "pl"; name ] -> ignore (get_place acc name)
+  | [ "pl"; name; "(1)" ] -> Builder.mark acc.builder (get_place acc name)
+  | [ "pl"; name; "(0)" ] -> ignore (get_place acc name)
+  | "pl" :: _ -> fail line_no "malformed place line (expected: pl <name> [(0|1)])"
+  | "tr" :: name :: ":" :: rest | "tr" :: name :: rest -> begin
+      let rec split_arrow before = function
+        | [] -> fail line_no "transition %s: missing '->'" name
+        | "->" :: after -> (List.rev before, after)
+        | tok :: rest -> split_arrow (tok :: before) rest
+      in
+      let inputs, outputs = split_arrow [] rest in
+      if List.mem "->" outputs then fail line_no "transition %s: duplicate '->'" name;
+      let pre = List.map (get_place acc) inputs in
+      let post = List.map (get_place acc) outputs in
+      ignore (Builder.transition acc.builder name ~pre ~post)
+    end
+  | tok :: _ -> fail line_no "unknown directive %S" tok
+
+let of_string ?(name = "net") text =
+  let lines = String.split_on_char '\n' text in
+  (* First pass: find an optional net name. *)
+  let net_name = ref name in
+  List.iteri
+    (fun i line ->
+      match tokenize (i + 1) line with
+      | [ "net"; n ] -> net_name := n
+      | "net" :: _ :: _ :: _ -> fail (i + 1) "malformed net line"
+      | _ -> ())
+    lines;
+  let acc = { builder = Builder.create !net_name; known_places = [] } in
+  List.iteri (fun i line -> parse_line acc (i + 1) (tokenize (i + 1) line)) lines;
+  Builder.build acc.builder
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+let to_string (net : Net.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "net %s\n" net.name);
+  for p = 0 to net.n_places - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "pl %s%s\n" net.place_names.(p)
+         (if Bitset.mem p net.initial then " (1)" else ""))
+  done;
+  for t = 0 to net.n_transitions - 1 do
+    let names ps =
+      Array.to_list ps |> List.map (fun p -> net.place_names.(p)) |> String.concat " "
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "tr %s : %s -> %s\n" net.transition_names.(t)
+         (names net.pre_list.(t)) (names net.post_list.(t)))
+  done;
+  Buffer.contents buf
+
+let to_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

@@ -1,0 +1,36 @@
+(** Textual net format, read and write.
+
+    The format is line-oriented, in the spirit of Tina's [.net] files:
+
+    {v
+    # comment
+    net mutex
+    pl idle1 (1)          # place, (1) marks it initially
+    pl idle2 (1)
+    pl lock (1)
+    pl crit1
+    pl crit2
+    tr enter1 : idle1 lock -> crit1
+    tr leave1 : crit1 -> idle1 lock
+    v}
+
+    Identifiers match [\[A-Za-z0-9_.'\[\]-\]+].  Places may be declared
+    implicitly by appearing in a [tr] line; an explicit [pl] line is
+    only needed to mark a place or fix its declaration order. *)
+
+exception Syntax_error of int * string
+(** [(line_number, message)] raised on malformed input. *)
+
+val of_string : ?name:string -> string -> Net.t
+(** Parse a net from a string.  The [net] line is optional; [name]
+    (default ["net"]) is used when absent. *)
+
+val of_file : string -> Net.t
+(** Parse a net from a file; the default name is the file's basename. *)
+
+val to_string : Net.t -> string
+(** Serialize a net; [of_string (to_string net)] is structurally equal
+    to [net]. *)
+
+val to_file : string -> Net.t -> unit
+(** Write the serialization of a net to a file. *)

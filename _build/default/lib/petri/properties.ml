@@ -1,0 +1,79 @@
+type report = {
+  deadlock_free : bool;
+  safe : bool;
+  dead_transitions : Bitset.t;
+  quasi_live : bool;
+  reversible : bool;
+  states : int;
+  complete : bool;
+}
+
+module Table = Reachability.Marking_table
+
+let check ?max_states (net : Net.t) =
+  let result = Reachability.explore ?max_states net in
+  let fired = ref (Bitset.empty net.n_transitions) in
+  (* In a full exploration every transition enabled at a visited marking
+     was fired there, so "dead" = enabled nowhere. *)
+  Table.iter
+    (fun m () -> fired := Bitset.union !fired (Semantics.enabled_set net m))
+    result.visited;
+  let dead_transitions = Bitset.diff (Bitset.full net.n_transitions) !fired in
+  (* Reversibility: backward BFS from m0 over the reversed explored graph
+     must reach every visited marking. *)
+  let reversible =
+    if result.truncated then false
+    else begin
+      let reverse = Table.create (Table.length result.visited) in
+      Table.iter
+        (fun m () ->
+          List.iter
+            (fun (_, m') ->
+              let preds = try Table.find reverse m' with Not_found -> [] in
+              Table.replace reverse m' (m :: preds))
+            (Semantics.successors net m))
+        result.visited;
+      let reached = Table.create (Table.length result.visited) in
+      let queue = Queue.create () in
+      Table.add reached net.initial ();
+      Queue.add net.initial queue;
+      while not (Queue.is_empty queue) do
+        let m = Queue.pop queue in
+        List.iter
+          (fun m_pred ->
+            if not (Table.mem reached m_pred) then begin
+              Table.add reached m_pred ();
+              Queue.add m_pred queue
+            end)
+          (try Table.find reverse m with Not_found -> [])
+      done;
+      Table.length reached = Table.length result.visited
+    end
+  in
+  {
+    deadlock_free = result.deadlock_count = 0;
+    safe = result.unsafe = [];
+    dead_transitions;
+    quasi_live = Bitset.is_empty dead_transitions;
+    reversible;
+    states = result.states;
+    complete = not result.truncated;
+  }
+
+let find_deadlock ?max_states net =
+  let result = Reachability.explore ?max_states ~traces:true net in
+  match result.deadlocks with
+  | [] -> None
+  | m :: _ -> Some (Reachability.trace_to result m)
+
+let pp_report net ppf r =
+  Format.fprintf ppf
+    "@[<v>states explored: %d%s@ deadlock free:   %b@ safe:            %b@ \
+     quasi-live:      %b%s@ reversible:      %b@]"
+    r.states
+    (if r.complete then "" else " (truncated)")
+    r.deadlock_free r.safe r.quasi_live
+    (if r.quasi_live then ""
+     else
+       Format.asprintf " (dead: %a)" (Net.pp_transition_set net) r.dead_transitions)
+    r.reversible

@@ -1,0 +1,31 @@
+(** Behavioural properties of safe Petri nets, checked by exploration.
+
+    These are the properties Section 2.1 of the paper cares about:
+    deadlock freedom (the main check of Section 4), safeness, and
+    liveness-related facts (dead transitions, quasi-liveness). *)
+
+type report = {
+  deadlock_free : bool;
+  safe : bool;
+  dead_transitions : Bitset.t;
+      (** Transitions never fired anywhere in the reachable graph. *)
+  quasi_live : bool;  (** [true] iff there is no dead transition. *)
+  reversible : bool;
+      (** [true] iff the initial marking is reachable from every
+          reachable marking (home-state property of [m0]). *)
+  states : int;
+  complete : bool;  (** [false] if the exploration was truncated. *)
+}
+
+val check : ?max_states:int -> Net.t -> report
+(** Explore the full reachability graph and evaluate all properties.
+    Reversibility is checked with a backward pass over the explored
+    graph, so the cost stays linear in its size. *)
+
+val find_deadlock : ?max_states:int -> Net.t -> Net.transition list option
+(** [find_deadlock net] returns a firing sequence from the initial
+    marking to some deadlocked marking, or [None] when the net is
+    deadlock free (within the exploration budget). *)
+
+val pp_report : Net.t -> Format.formatter -> report -> unit
+(** Human-readable multi-line report. *)

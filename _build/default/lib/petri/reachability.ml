@@ -1,0 +1,92 @@
+module Marking_table = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+type strategy = Net.t -> Bitset.t -> Net.transition list
+
+type result = {
+  net : Net.t;
+  states : int;
+  edges : int;
+  deadlocks : Bitset.t list;
+  deadlock_count : int;
+  unsafe : (Net.transition * Bitset.t) list;
+  truncated : bool;
+  predecessor : (Net.transition * Bitset.t) Marking_table.t option;
+  visited : unit Marking_table.t;
+}
+
+let full (net : Net.t) m = Bitset.elements (Semantics.enabled_set net m)
+
+let explore ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
+    ?(traces = false) (net : Net.t) =
+  let visited = Marking_table.create 4096 in
+  let predecessor = if traces then Some (Marking_table.create 4096) else None in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let deadlocks = ref [] in
+  let deadlock_count = ref 0 in
+  let unsafe = ref [] in
+  let unsafe_count = ref 0 in
+  let truncated = ref false in
+  let enqueue m = Marking_table.add visited m (); Queue.add m queue in
+  enqueue net.initial;
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    let to_fire = strategy net m in
+    if Semantics.is_deadlock net m then begin
+      incr deadlock_count;
+      if !deadlock_count <= max_deadlocks then deadlocks := m :: !deadlocks
+    end;
+    let fire t =
+      let m', safe = Semantics.fire net t m in
+      incr edges;
+      if not safe then begin
+        incr unsafe_count;
+        if !unsafe_count <= max_deadlocks then unsafe := (t, m) :: !unsafe
+      end;
+      if not (Marking_table.mem visited m') then
+        if Marking_table.length visited >= max_states then truncated := true
+        else begin
+          enqueue m';
+          match predecessor with
+          | Some table -> Marking_table.add table m' (t, m)
+          | None -> ()
+        end
+    in
+    List.iter fire to_fire
+  done;
+  {
+    net;
+    states = Marking_table.length visited;
+    edges = !edges;
+    deadlocks = List.rev !deadlocks;
+    deadlock_count = !deadlock_count;
+    unsafe = List.rev !unsafe;
+    truncated = !truncated;
+    predecessor;
+    visited;
+  }
+
+let trace_to result m =
+  match result.predecessor with
+  | None -> invalid_arg "Reachability.trace_to: explore was run without ~traces:true"
+  | Some table ->
+      if not (Marking_table.mem result.visited m) then raise Not_found;
+      let rec walk m acc =
+        match Marking_table.find_opt table m with
+        | None -> acc
+        | Some (t, m_pred) -> walk m_pred (t :: acc)
+      in
+      walk m []
+
+let deadlock_free result = result.deadlock_count = 0
+
+let pp_summary ppf result =
+  Format.fprintf ppf "%s: %d states, %d edges, %d deadlock(s)%s%s" result.net.Net.name
+    result.states result.edges result.deadlock_count
+    (if result.unsafe = [] then "" else ", UNSAFE")
+    (if result.truncated then " (truncated)" else "")

@@ -1,0 +1,49 @@
+type property = {
+  name : string;
+  never_all : Net.place list;
+}
+
+let monitor (net : Net.t) property =
+  if property.never_all = [] then invalid_arg "Safety.monitor: empty cover";
+  List.iter
+    (fun p ->
+      if p < 0 || p >= net.n_places then
+        invalid_arg "Safety.monitor: unknown place in cover")
+    property.never_all;
+  let b = Builder.create (net.name ^ "+" ^ property.name) in
+  let places =
+    Array.init net.n_places (fun p ->
+        Builder.place b
+          ~marked:(Bitset.mem p net.initial)
+          net.place_names.(p))
+  in
+  let run = Builder.place b ~marked:true (property.name ^ ".run") in
+  for t = 0 to net.n_transitions - 1 do
+    let map ps = Array.to_list (Array.map (fun p -> places.(p)) ps) in
+    ignore
+      (Builder.transition b net.transition_names.(t)
+         ~pre:(run :: map net.pre_list.(t))
+         ~post:(run :: map net.post_list.(t)))
+  done;
+  (* [tick] masks genuine deadlocks of the original net. *)
+  ignore (Builder.transition b (property.name ^ ".tick") ~pre:[ run ] ~post:[ run ]);
+  (* [violate] halts everything exactly when the cover is reached. *)
+  let cover = List.map (fun p -> places.(p)) property.never_all in
+  ignore
+    (Builder.transition b (property.name ^ ".violate") ~pre:(run :: cover)
+       ~post:cover);
+  Builder.build b
+
+let covers property m = List.for_all (fun p -> Bitset.mem p m) property.never_all
+
+let covering_marking ?(max_states = 1_000_000) net property =
+  let result = Reachability.explore ~max_states ~traces:true net in
+  if result.truncated then failwith "Safety: exploration truncated";
+  let found = ref None in
+  Reachability.Marking_table.iter
+    (fun m () -> if !found = None && covers property m then found := Some m)
+    result.visited;
+  Option.map (Reachability.trace_to result) !found
+
+let violated_explicit ?max_states net property =
+  covering_marking ?max_states net property <> None

@@ -1,0 +1,41 @@
+exception Unsafe of Net.transition * Bitset.t
+
+let enabled (net : Net.t) t m = Bitset.subset net.pre.(t) m
+
+let enabled_set (net : Net.t) m =
+  let rec loop t acc =
+    if t < 0 then acc
+    else loop (t - 1) (if enabled net t m then Bitset.add t acc else acc)
+  in
+  loop (net.n_transitions - 1) (Bitset.empty net.n_transitions)
+
+let is_deadlock (net : Net.t) m =
+  let rec loop t = t >= net.n_transitions || ((not (enabled net t m)) && loop (t + 1)) in
+  loop 0
+
+let fire (net : Net.t) t m =
+  assert (enabled net t m);
+  let after_consume = Bitset.diff m net.pre.(t) in
+  let safe = Bitset.disjoint after_consume net.post.(t) in
+  (Bitset.union after_consume net.post.(t), safe)
+
+let fire_exn net t m =
+  let m', safe = fire net t m in
+  if not safe then raise (Unsafe (t, m));
+  m'
+
+let successors (net : Net.t) m =
+  let rec loop t acc =
+    if t < 0 then acc
+    else if enabled net t m then loop (t - 1) ((t, fst (fire net t m)) :: acc)
+    else loop (t - 1) acc
+  in
+  loop (net.n_transitions - 1) []
+
+let fire_sequence net m ts =
+  let step acc t =
+    match acc with
+    | None -> None
+    | Some m -> if enabled net t m then Some (fst (fire net t m)) else None
+  in
+  List.fold_left step (Some m) ts

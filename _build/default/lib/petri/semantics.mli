@@ -1,0 +1,42 @@
+(** Classical safe-Petri-net dynamics (Definitions 2.3 and 2.4).
+
+    A marking of a safe net is a set of marked places ({!Bitset.t} over
+    places).  Firing is the classical token game; because the library is
+    restricted to safe nets, {!fire} additionally reports whether the
+    firing would violate safeness (produce a second token in a place). *)
+
+exception Unsafe of Net.transition * Bitset.t
+(** Raised by {!fire_exn} when firing the transition from the marking
+    would put a second token into some place. *)
+
+val enabled : Net.t -> Net.transition -> Bitset.t -> bool
+(** [enabled net t m] is Definition 2.3: every input place of [t] is
+    marked in [m]. *)
+
+val enabled_set : Net.t -> Bitset.t -> Bitset.t
+(** [enabled_set net m] is the set of transitions enabled in [m], as a
+    bit set over transitions. *)
+
+val is_deadlock : Net.t -> Bitset.t -> bool
+(** [is_deadlock net m] holds iff no transition is enabled in [m]. *)
+
+val fire : Net.t -> Net.transition -> Bitset.t -> Bitset.t * bool
+(** [fire net t m] fires an enabled [t] from [m] (Definition 2.4) and
+    returns [(m', safe)] where [safe] is [false] if a token was produced
+    into a place already marked after consumption (the net is not
+    1-safe along this step; [m'] then over-approximates by keeping a
+    single token).  It is a programming error to call [fire] on a
+    disabled transition; this is enforced with [assert]. *)
+
+val fire_exn : Net.t -> Net.transition -> Bitset.t -> Bitset.t
+(** Like {!fire} but raises {!Unsafe} instead of returning a flag. *)
+
+val successors : Net.t -> Bitset.t -> (Net.transition * Bitset.t) list
+(** All one-step successors of a marking, in increasing transition
+    order, ignoring safety violations (over-approximated as in
+    {!fire}). *)
+
+val fire_sequence : Net.t -> Bitset.t -> Net.transition list -> Bitset.t option
+(** [fire_sequence net m ts] fires the sequence [ts] from [m]; [None]
+    if some transition in the sequence is not enabled when its turn
+    comes. *)

@@ -1,0 +1,100 @@
+let preset_hits (net : Net.t) t s =
+  Array.exists (fun q -> Bitset.mem q s) net.pre_list.(t)
+
+let postset_hits (net : Net.t) t s =
+  Array.exists (fun q -> Bitset.mem q s) net.post_list.(t)
+
+let is_siphon (net : Net.t) s =
+  (not (Bitset.is_empty s))
+  && Bitset.for_all
+       (fun p -> Array.for_all (fun t -> preset_hits net t s) net.producers.(p))
+       s
+
+let is_trap (net : Net.t) s =
+  (not (Bitset.is_empty s))
+  && Bitset.for_all
+       (fun p -> Array.for_all (fun t -> postset_hits net t s) net.consumers.(p))
+       s
+
+let empty_places (net : Net.t) m = Bitset.diff (Bitset.full net.n_places) m
+
+(* Enumerate the inclusion-minimal siphons by backtracking closure:
+   grow a candidate from a seed place, justifying every producer of
+   every member by branching over which of its input places to add. *)
+let minimal_siphons ?(max_count = 2048) (net : Net.t) =
+  let candidates = ref [] in
+  let work = ref 0 in
+  let rec close s = function
+    | [] -> candidates := s :: !candidates
+    | p :: rest -> begin
+        incr work;
+        if !work > max_count * 64 then
+          failwith "Siphon.minimal_siphons: search blow-up, raise ~max_count";
+        (* Find a producer of [p] not yet consuming from [s]. *)
+        let unjustified =
+          Array.to_list net.producers.(p)
+          |> List.find_opt (fun t -> not (preset_hits net t s))
+        in
+        match unjustified with
+        | None -> close s rest
+        | Some t ->
+            if Array.length net.pre_list.(t) = 0 then
+              (* A source transition feeds [p]: no siphon contains [p]. *)
+              ()
+            else
+              Array.iter
+                (fun q -> close (Bitset.add q s) (q :: p :: rest))
+                net.pre_list.(t)
+      end
+  in
+  for p = 0 to net.n_places - 1 do
+    close (Bitset.singleton net.n_places p) [ p ]
+  done;
+  (* Keep the inclusion-minimal candidates. *)
+  let sorted =
+    List.sort_uniq Bitset.compare !candidates
+    |> List.sort (fun a b -> Int.compare (Bitset.cardinal a) (Bitset.cardinal b))
+  in
+  let minimal = ref [] in
+  List.iter
+    (fun s ->
+      if not (List.exists (fun kept -> Bitset.subset kept s) !minimal) then
+        minimal := s :: !minimal)
+    sorted;
+  if List.length !minimal > max_count then
+    failwith "Siphon.minimal_siphons: too many siphons, raise ~max_count";
+  List.rev !minimal
+
+let max_trap_inside (net : Net.t) q0 =
+  let rec fixpoint q =
+    let q' =
+      Bitset.fold
+        (fun p acc ->
+          if Array.for_all (fun t -> postset_hits net t q) net.consumers.(p) then acc
+          else Bitset.remove p acc)
+        q q
+    in
+    if Bitset.equal q' q then q else fixpoint q'
+  in
+  fixpoint q0
+
+let is_free_choice (net : Net.t) =
+  let rec check p =
+    p >= net.n_places
+    || ((Array.length net.consumers.(p) <= 1
+        || Array.for_all
+             (fun t -> Bitset.equal net.pre.(t) (Bitset.singleton net.n_places p))
+             net.consumers.(p))
+       && check (p + 1))
+  in
+  check 0
+
+let commoner_holds ?max_count (net : Net.t) =
+  List.for_all
+    (fun s ->
+      let trap = max_trap_inside net s in
+      (not (Bitset.is_empty trap)) && Bitset.intersects trap net.initial)
+    (minimal_siphons ?max_count net)
+
+let unmarked_witness ?max_count (net : Net.t) m =
+  List.find_opt (fun s -> Bitset.disjoint s m) (minimal_siphons ?max_count net)

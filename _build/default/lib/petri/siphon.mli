@@ -1,0 +1,44 @@
+(** Siphons, traps and Commoner's structural deadlock condition.
+
+    A {e siphon} is a place set [S] with [•S ⊆ S•]: every transition
+    feeding [S] also consumes from it, so an unmarked siphon stays
+    unmarked forever and its output transitions are dead.  Dually a
+    {e trap} [Q] satisfies [Q• ⊆ •Q] and once marked stays marked.
+    At any dead marking the set of empty places is a siphon — the
+    structural shadow of every deadlock the reachability engines find,
+    used by the test suite as an independent oracle.  For free-choice
+    nets, Commoner's condition — every minimal siphon contains an
+    initially marked trap — implies deadlock freedom. *)
+
+val is_siphon : Net.t -> Bitset.t -> bool
+(** [•S ⊆ S•], for a non-empty [S]. *)
+
+val is_trap : Net.t -> Bitset.t -> bool
+(** [Q• ⊆ •Q], for a non-empty [Q]. *)
+
+val empty_places : Net.t -> Bitset.t -> Bitset.t
+(** The unmarked places of a marking. *)
+
+val minimal_siphons : ?max_count:int -> Net.t -> Bitset.t list
+(** All minimal (inclusion-wise) siphons, by backtracking closure.
+    [max_count] (default [2048]) bounds the search; raises [Failure]
+    when exceeded. *)
+
+val max_trap_inside : Net.t -> Bitset.t -> Bitset.t
+(** The largest trap contained in a place set (possibly empty),
+    computed as a greatest fixpoint. *)
+
+val is_free_choice : Net.t -> bool
+(** [true] iff every shared place is the only input of all its
+    consumers ([∀p: |p•| ≤ 1 ∨ ∀t ∈ p•: •t = {p}]) — the class for
+    which Commoner's condition is exact. *)
+
+val commoner_holds : ?max_count:int -> Net.t -> bool
+(** Every minimal siphon contains a trap marked at [m0].  For
+    free-choice nets this implies deadlock freedom; for general nets it
+    is neither necessary nor sufficient, but a failing siphon is a good
+    hint where a deadlock may hide. *)
+
+val unmarked_witness : ?max_count:int -> Net.t -> Bitset.t -> Bitset.t option
+(** [unmarked_witness net m] is a minimal siphon unmarked at [m], if
+    any — at a dead marking one always exists. *)

@@ -1,0 +1,44 @@
+type t = Net.transition list
+
+let replay (net : Net.t) trace =
+  let step (m, acc) transition =
+    if not (Semantics.enabled net transition m) then
+      invalid_arg
+        (Printf.sprintf "Trace.replay: %s not enabled"
+           (Net.transition_name net transition));
+    let m', _safe = Semantics.fire net transition m in
+    (m', m' :: acc)
+  in
+  let _, markings = List.fold_left step (net.initial, [ net.initial ]) trace in
+  List.rev markings
+
+let final_marking net trace =
+  match List.rev (replay net trace) with
+  | last :: _ -> last
+  | [] -> assert false
+
+let is_valid net trace =
+  match replay net trace with
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+let pp net ppf trace =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " ; ")
+    (fun ppf t -> Format.pp_print_string ppf (Net.transition_name net t))
+    ppf trace
+
+let pp_replay net ppf trace =
+  let markings = replay net trace in
+  let rec go markings trace =
+    match (markings, trace) with
+    | [ last ], [] -> Format.fprintf ppf "%a" (Net.pp_marking net) last
+    | m :: markings', t :: trace' ->
+        Format.fprintf ppf "%a@   --%s-->@ " (Net.pp_marking net) m
+          (Net.transition_name net t);
+        go markings' trace'
+    | _ -> assert false
+  in
+  Format.fprintf ppf "@[<v>";
+  go markings trace;
+  Format.fprintf ppf "@]"

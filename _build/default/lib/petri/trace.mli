@@ -1,0 +1,22 @@
+(** Firing sequences as verification witnesses. *)
+
+type t = Net.transition list
+(** A firing sequence, starting from the initial marking. *)
+
+val replay : Net.t -> t -> Bitset.t list
+(** [replay net trace] returns the sequence of markings traversed,
+    starting with the initial marking (so its length is
+    [List.length trace + 1]).  Raises [Invalid_argument] if a step is
+    not enabled. *)
+
+val final_marking : Net.t -> t -> Bitset.t
+(** The marking reached after replaying the whole trace. *)
+
+val is_valid : Net.t -> t -> bool
+(** [true] iff every step of the trace is enabled when fired. *)
+
+val pp : Net.t -> Format.formatter -> t -> unit
+(** Print as [t1 ; t2 ; ...] using transition names. *)
+
+val pp_replay : Net.t -> Format.formatter -> t -> unit
+(** Multi-line rendering interleaving markings and fired transitions. *)

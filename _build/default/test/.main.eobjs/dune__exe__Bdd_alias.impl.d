@@ -1,0 +1,1 @@
+test/bdd_alias.ml: Bddkit

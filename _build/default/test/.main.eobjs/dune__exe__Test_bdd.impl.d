@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd_alias List QCheck2 QCheck_alcotest

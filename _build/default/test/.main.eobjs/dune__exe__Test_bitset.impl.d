@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Char Petri QCheck2 QCheck_alcotest String

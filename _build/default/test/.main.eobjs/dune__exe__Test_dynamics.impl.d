@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Array Format Gpn List Models Petri

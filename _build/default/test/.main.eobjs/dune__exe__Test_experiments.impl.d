@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring_contains Float Format Gpn Harness List Models Petri Printf Unix

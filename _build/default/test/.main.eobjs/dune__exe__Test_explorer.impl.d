@@ -1,0 +1,1 @@
+test/test_explorer.ml: Alcotest Astring_contains Format Gpn List Models Option Petri Printf String

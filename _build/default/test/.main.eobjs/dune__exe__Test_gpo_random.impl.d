@@ -1,0 +1,1 @@
+test/test_gpo_random.ml: Alcotest Bool Gpn Models Option Petri

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Gpn Harness List Models Petri Printf

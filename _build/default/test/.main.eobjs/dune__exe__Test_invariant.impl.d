@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Array List Models Petri Printf

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Gpn List Models Petri Printf String

@@ -1,0 +1,1 @@
+test/test_reachability.ml: Alcotest Float List Models Petri Printf

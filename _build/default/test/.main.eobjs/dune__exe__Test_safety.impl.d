@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Bddkit Gpn List Models Petri Printf Random String

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array List Models Petri Printf

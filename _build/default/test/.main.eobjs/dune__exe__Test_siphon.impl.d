@@ -1,0 +1,1 @@
+test/test_siphon.ml: Alcotest List Models Petri Printf

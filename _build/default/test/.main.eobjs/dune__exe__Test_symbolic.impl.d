@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Bddkit List Models Petri

@@ -1,0 +1,1 @@
+test/test_world_set.ml: Alcotest Gpn List Petri QCheck2 QCheck_alcotest

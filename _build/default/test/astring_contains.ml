@@ -1,0 +1,5 @@
+(* Tiny substring helper shared by tests. *)
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0

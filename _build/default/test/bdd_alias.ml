@@ -1,0 +1,2 @@
+(* Short alias for the BDD module under test. *)
+include Bddkit.Bdd

@@ -1,0 +1,132 @@
+(* Tests for the structural analysis: incidence matrix, P/T-invariants
+   and Farkas semiflows. *)
+
+let test_incidence () =
+  let net = Models.Figures.fig3 in
+  let c = Petri.Invariant.incidence net in
+  let t name = Petri.Net.transition_index net name in
+  let p name = Petri.Net.place_index net name in
+  Alcotest.(check int) "A consumes p1" (-1) c.(p "p1").(t "A");
+  Alcotest.(check int) "A produces p2" 1 c.(p "p2").(t "A");
+  Alcotest.(check int) "B untouched by p2" 0 c.(p "p2").(t "B");
+  Alcotest.(check int) "C consumes p2" (-1) c.(p "p2").(t "C")
+
+let test_p_invariants_mutex () =
+  (* A simple mutex: lock + crit1 + crit2 is invariant. *)
+  let net =
+    Petri.Parser.of_string
+      {|net mutex
+        pl idle1 (1)
+        pl idle2 (1)
+        pl lock (1)
+        pl crit1
+        pl crit2
+        tr enter1 : idle1 lock -> crit1
+        tr leave1 : crit1 -> idle1 lock
+        tr enter2 : idle2 lock -> crit2
+        tr leave2 : crit2 -> idle2 lock|}
+  in
+  let invariants = Petri.Invariant.p_invariants net in
+  Alcotest.(check bool) "basis nonempty" true (invariants <> []);
+  List.iter
+    (fun y ->
+      Alcotest.(check bool) "is a P-invariant" true (Petri.Invariant.is_p_invariant net y);
+      (* The weighted token count is constant across reachable markings. *)
+      let v0 = Petri.Invariant.invariant_value net y net.Petri.Net.initial in
+      let r = Petri.Reachability.explore net in
+      Petri.Reachability.Marking_table.iter
+        (fun m () ->
+          Alcotest.(check int) "invariant value constant" v0
+            (Petri.Invariant.invariant_value net y m))
+        r.visited)
+    invariants;
+  (* The mutex semiflow lock + crit1 + crit2 must appear. *)
+  let lock = Petri.Net.place_index net "lock" in
+  let crit1 = Petri.Net.place_index net "crit1" in
+  let crit2 = Petri.Net.place_index net "crit2" in
+  let semiflows = Petri.Invariant.p_semiflows net in
+  Alcotest.(check bool) "mutex semiflow found" true
+    (List.exists
+       (fun y ->
+         y.(lock) = 1 && y.(crit1) = 1 && y.(crit2) = 1
+         && Array.to_list y |> List.filter (fun w -> w <> 0) |> List.length = 3)
+       semiflows)
+
+let test_t_invariants () =
+  let net = Models.Nsdp.make 2 in
+  let invariants = Petri.Invariant.t_invariants net in
+  Alcotest.(check bool) "T-invariant basis nonempty" true (invariants <> []);
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "is a T-invariant" true
+        (Petri.Invariant.is_t_invariant net x))
+    invariants;
+  (* One philosopher's full cycle is a T-invariant. *)
+  let x = Array.make net.Petri.Net.n_transitions 0 in
+  List.iter
+    (fun name -> x.(Petri.Net.transition_index net name) <- 1)
+    [ "hungry.0"; "takeL.0"; "reach.0"; "takeR.0"; "release.0" ];
+  Alcotest.(check bool) "philosopher cycle is T-invariant" true
+    (Petri.Invariant.is_t_invariant net x)
+
+let test_semiflows_cover_models () =
+  (* All benchmark models are covered by P-semiflows (hence structurally
+     bounded), which is consistent with their 1-safety. *)
+  List.iter
+    (fun net ->
+      Alcotest.(check bool)
+        (net.Petri.Net.name ^ " covered")
+        true
+        (Petri.Invariant.structurally_covered net))
+    [ Models.Nsdp.make 3; Models.Over.make 3; Models.Rw.make 3; Models.Figures.fig7 ]
+
+let test_invariant_values_on_random_nets () =
+  (* For random nets: every basis vector is killed by the incidence
+     matrix, and its value is constant along any firing sequence. *)
+  for seed = 0 to 49 do
+    let net = Models.Random_net.generate seed in
+    let invariants = Petri.Invariant.p_invariants net in
+    List.iter
+      (fun y ->
+        Alcotest.(check bool) "basis vector checks" true
+          (Petri.Invariant.is_p_invariant net y);
+        let v0 = Petri.Invariant.invariant_value net y net.Petri.Net.initial in
+        List.iter
+          (fun (_, m) ->
+            Alcotest.(check int) "one step preserves value" v0
+              (Petri.Invariant.invariant_value net y m))
+          (Petri.Semantics.successors net net.Petri.Net.initial))
+      invariants
+  done
+
+let test_component_invariants_random () =
+  (* The random nets are synchronized products of one-token automata, so
+     each component's indicator vector is a P-invariant of value 1. *)
+  for seed = 0 to 19 do
+    let net = Models.Random_net.generate seed in
+    let components = Models.Random_net.default_spec.components in
+    let per_component = Models.Random_net.default_spec.states_per_component in
+    for c = 0 to components - 1 do
+      let y =
+        Array.init net.Petri.Net.n_places (fun p ->
+            if p / per_component = c then 1 else 0)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d component %d" seed c)
+        true
+        (Petri.Invariant.is_p_invariant net y);
+      Alcotest.(check int) "one token" 1
+        (Petri.Invariant.invariant_value net y net.Petri.Net.initial)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "incidence matrix" `Quick test_incidence;
+    Alcotest.test_case "P-invariants of a mutex" `Quick test_p_invariants_mutex;
+    Alcotest.test_case "T-invariants of NSDP" `Quick test_t_invariants;
+    Alcotest.test_case "semiflows cover the models" `Quick test_semiflows_cover_models;
+    Alcotest.test_case "invariants on random nets" `Quick
+      test_invariant_values_on_random_nets;
+    Alcotest.test_case "component semiflows" `Quick test_component_invariants_random;
+  ]

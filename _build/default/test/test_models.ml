@@ -1,0 +1,204 @@
+(* Sanity tests for the benchmark model generators: sizes, safety,
+   deadlock behaviour and the structural features each family is
+   supposed to exhibit. *)
+
+module B = Petri.Bitset
+
+let check_safe net =
+  let r = Petri.Reachability.explore ~max_states:500_000 net in
+  Alcotest.(check bool) (net.Petri.Net.name ^ " explored fully") false r.truncated;
+  Alcotest.(check (list string)) (net.Petri.Net.name ^ " 1-safe") []
+    (List.map (fun (t, _) -> Petri.Net.transition_name net t) r.unsafe);
+  r
+
+let test_nsdp () =
+  List.iter
+    (fun n ->
+      let net = Models.Nsdp.make n in
+      Alcotest.(check int) "places" (6 * n) net.Petri.Net.n_places;
+      Alcotest.(check int) "transitions" (5 * n) net.Petri.Net.n_transitions;
+      let r = check_safe net in
+      Alcotest.(check bool) "deadlocks" true (r.deadlock_count > 0);
+      (* The canonical circular wait: everybody reaching for the right
+         fork.  It must be among the deadlocked markings. *)
+      let circular =
+        B.of_list net.Petri.Net.n_places
+          (List.init n (fun i ->
+               Petri.Net.place_index net (Printf.sprintf "askR.%d" i)))
+      in
+      Alcotest.(check bool) "circular wait found" true
+        (List.exists (B.equal circular) r.deadlocks))
+    [ 2; 3; 4 ]
+
+let test_nsdp_growth () =
+  (* The full state space grows by roughly the paper's factor (×18 per
+     two philosophers; our model gives ×19.8). *)
+  let states n =
+    (Petri.Reachability.explore (Models.Nsdp.make n)).Petri.Reachability.states
+  in
+  let g1 = float_of_int (states 4) /. float_of_int (states 2) in
+  let g2 = float_of_int (states 6) /. float_of_int (states 4) in
+  Alcotest.(check bool) "exponential factor near paper's" true
+    (g1 > 15. && g1 < 25. && g2 > 15. && g2 < 25.)
+
+let test_nsdp_invalid () =
+  Alcotest.check_raises "n must be >= 2"
+    (Invalid_argument "Nsdp.make: need at least 2 philosophers") (fun () ->
+      ignore (Models.Nsdp.make 1))
+
+let test_asat () =
+  List.iter
+    (fun n ->
+      let net = Models.Asat.make n in
+      let r = check_safe net in
+      Alcotest.(check int) "no deadlock" 0 r.deadlock_count;
+      (* Mutual exclusion: no reachable marking has two users using. *)
+      let use =
+        List.init n (fun i -> Petri.Net.place_index net (Printf.sprintf "u%d.use" i))
+      in
+      Petri.Reachability.Marking_table.iter
+        (fun m () ->
+          let users = List.length (List.filter (fun p -> B.mem p m) use) in
+          Alcotest.(check bool) "at most one user" true (users <= 1))
+        r.visited)
+    [ 2; 4 ]
+
+let test_asat_invalid () =
+  List.iter
+    (fun n ->
+      match Models.Asat.make n with
+      | _ -> Alcotest.failf "asat(%d) should be rejected" n
+      | exception Invalid_argument _ -> ())
+    [ 0; 1; 3; 6 ]
+
+let test_over () =
+  List.iter
+    (fun n ->
+      let net = Models.Over.make n in
+      let r = check_safe net in
+      Alcotest.(check int) "no deadlock" 0 r.deadlock_count;
+      (* Adjacent vehicles never pass each other simultaneously. *)
+      let pass =
+        List.init (n - 1) (fun i ->
+            Petri.Net.place_index net (Printf.sprintf "pass.%d" i))
+      in
+      Petri.Reachability.Marking_table.iter
+        (fun m () ->
+          List.iteri
+            (fun i p ->
+              if i + 1 < List.length pass then
+                Alcotest.(check bool) "no adjacent passes" true
+                  (not (B.mem p m && B.mem (List.nth pass (i + 1)) m)))
+            pass)
+        r.visited)
+    [ 2; 3; 4 ]
+
+let test_rw () =
+  List.iter
+    (fun n ->
+      let net = Models.Rw.make n in
+      let r = check_safe net in
+      Alcotest.(check int) "no deadlock" 0 r.deadlock_count;
+      (* Writers are exclusive: a writing process excludes readers and
+         other writers. *)
+      let writing =
+        List.init n (fun i ->
+            Petri.Net.place_index net (Printf.sprintf "writing.%d" i))
+      in
+      let reading =
+        List.init n (fun i ->
+            Petri.Net.place_index net (Printf.sprintf "reading.%d" i))
+      in
+      Petri.Reachability.Marking_table.iter
+        (fun m () ->
+          let writers = List.length (List.filter (fun p -> B.mem p m) writing) in
+          let readers = List.length (List.filter (fun p -> B.mem p m) reading) in
+          Alcotest.(check bool) "rw exclusion" true
+            (writers = 0 || (writers = 1 && readers = 0)))
+        r.visited)
+    [ 3; 4; 5 ]
+
+let test_rw_state_count_formula () =
+  (* Our RW model has 2^n + n + n·(2^(n-1) - 1)... empirically: check
+     against the explicit count for small n and monotone exponential
+     growth, and that PO reduction degenerates less than 100x. *)
+  let states n =
+    (Petri.Reachability.explore (Models.Rw.make n)).Petri.Reachability.states
+  in
+  Alcotest.(check bool) "exponential growth" true
+    (states 6 > 60 && states 9 > 500 && states 9 > 7 * states 6)
+
+let test_rw_single_cluster () =
+  (* The feature that defeats classical PO on RW: all start transitions
+     form one conflict cluster. *)
+  let net = Models.Rw.make 5 in
+  let conflict = Petri.Conflict.analyse net in
+  let big =
+    Array.to_list (Petri.Conflict.clusters conflict)
+    |> List.filter (fun c -> B.cardinal c >= 2)
+  in
+  Alcotest.(check int) "one big cluster" 1 (List.length big);
+  Alcotest.(check int) "contains all 2n start transitions" 10
+    (B.cardinal (List.hd big))
+
+let test_random_nets_are_safe () =
+  for seed = 0 to 99 do
+    let net = Models.Random_net.generate seed in
+    let r = Petri.Reachability.explore ~max_states:100_000 net in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d safe" seed)
+      0
+      (List.length r.unsafe)
+  done
+
+let test_random_net_determinism () =
+  let a = Models.Random_net.generate 42 in
+  let b = Models.Random_net.generate 42 in
+  Alcotest.(check string) "same serialization" (Petri.Parser.to_string a)
+    (Petri.Parser.to_string b)
+
+
+let test_scheduler () =
+  List.iter
+    (fun n ->
+      let net = Models.Scheduler.make n in
+      let r = check_safe net in
+      Alcotest.(check int) "deadlock free" 0 r.deadlock_count;
+      (* Conflict-free: every cluster is a singleton. *)
+      let conflict = Petri.Conflict.analyse net in
+      Array.iter
+        (fun c -> Alcotest.(check int) "singleton cluster" 1 (B.cardinal c))
+        (Petri.Conflict.clusters conflict);
+      (* Exactly one ring token at any time (P-invariant). *)
+      let y =
+        Array.init net.Petri.Net.n_places (fun p ->
+            if String.length (Petri.Net.place_name net p) >= 5
+               && String.sub (Petri.Net.place_name net p) 0 5 = "token"
+            then 1
+            else 0)
+      in
+      Alcotest.(check bool) "ring invariant" true (Petri.Invariant.is_p_invariant net y);
+      (* Conflict-free nets are trivial for both reductions: linear. *)
+      let po = Petri.Stubborn.explore net in
+      let gpo = Gpn.Explorer.analyse net in
+      Alcotest.(check bool) "po linear" true (po.states <= 4 * n + 4);
+      Alcotest.(check bool) "gpo linear" true (gpo.Gpn.Explorer.states <= 4 * n + 4);
+      Alcotest.(check bool) "full exponential" true
+        (n < 6 || r.states > 1 lsl (n - 1)))
+    [ 2; 4; 6; 8 ]
+
+let suite =
+  [
+    Alcotest.test_case "nsdp" `Quick test_nsdp;
+    Alcotest.test_case "nsdp growth factor" `Quick test_nsdp_growth;
+    Alcotest.test_case "nsdp invalid size" `Quick test_nsdp_invalid;
+    Alcotest.test_case "asat" `Quick test_asat;
+    Alcotest.test_case "asat invalid sizes" `Quick test_asat_invalid;
+    Alcotest.test_case "over" `Quick test_over;
+    Alcotest.test_case "rw" `Quick test_rw;
+    Alcotest.test_case "rw state growth" `Quick test_rw_state_count_formula;
+    Alcotest.test_case "rw single cluster" `Quick test_rw_single_cluster;
+    Alcotest.test_case "scheduler" `Quick test_scheduler;
+    Alcotest.test_case "random nets safe" `Quick test_random_nets_are_safe;
+    Alcotest.test_case "random net determinism" `Quick test_random_net_determinism;
+  ]

@@ -1,0 +1,175 @@
+(* Tests for Petri.Net, Petri.Builder, Petri.Parser, Petri.Dot and
+   Petri.Trace. *)
+
+module B = Petri.Bitset
+
+(* A small shared fixture: producer/consumer over a 1-place buffer. *)
+let producer_consumer () =
+  let b = Petri.Builder.create "prodcons" in
+  let ready = Petri.Builder.place b ~marked:true "ready" in
+  let buffer = Petri.Builder.place b "buffer" in
+  let idle = Petri.Builder.place b ~marked:true "idle" in
+  let busy = Petri.Builder.place b "busy" in
+  let produce = Petri.Builder.transition b "produce" ~pre:[ ready ] ~post:[ buffer ] in
+  let consume = Petri.Builder.transition b "consume" ~pre:[ buffer; idle ] ~post:[ busy ] in
+  let finish = Petri.Builder.transition b "finish" ~pre:[ busy ] ~post:[ idle; ready ] in
+  (Petri.Builder.build b, produce, consume, finish)
+
+let test_builder_structure () =
+  let net, produce, consume, _finish = producer_consumer () in
+  Alcotest.(check int) "places" 4 net.Petri.Net.n_places;
+  Alcotest.(check int) "transitions" 3 net.Petri.Net.n_transitions;
+  Alcotest.(check string) "place name" "buffer" (Petri.Net.place_name net 1);
+  Alcotest.(check string) "transition name" "consume"
+    (Petri.Net.transition_name net consume);
+  Alcotest.(check int) "index round-trip" produce
+    (Petri.Net.transition_index net "produce");
+  Alcotest.(check int) "place index" 2 (Petri.Net.place_index net "idle");
+  Alcotest.(check bool) "initial marking" true
+    (B.equal net.Petri.Net.initial (B.of_list 4 [ 0; 2 ]));
+  Alcotest.(check (list int)) "preset of consume" [ 1; 2 ]
+    (B.elements (Petri.Net.pre net consume));
+  Alcotest.(check (list int)) "postset of consume" [ 3 ]
+    (B.elements (Petri.Net.post net consume))
+
+let test_builder_errors () =
+  let b = Petri.Builder.create "bad" in
+  let p = Petri.Builder.place b "p" in
+  Alcotest.check_raises "duplicate place"
+    (Invalid_argument "Builder.place: duplicate place \"p\"") (fun () ->
+      ignore (Petri.Builder.place b "p"));
+  ignore (Petri.Builder.transition b "t" ~pre:[ p ] ~post:[]);
+  Alcotest.check_raises "duplicate transition"
+    (Invalid_argument "Builder.transition: duplicate transition \"t\"") (fun () ->
+      ignore (Petri.Builder.transition b "t" ~pre:[] ~post:[]));
+  Alcotest.check_raises "unknown place"
+    (Invalid_argument "Builder.transition: unknown place index 7") (fun () ->
+      ignore (Petri.Builder.transition b "u" ~pre:[ 7 ] ~post:[]));
+  ignore (Petri.Builder.build b);
+  Alcotest.check_raises "use after build"
+    (Invalid_argument "Builder.place: builder already built") (fun () ->
+      ignore (Petri.Builder.place b "q"))
+
+let test_consumers_producers () =
+  let net, produce, consume, finish = producer_consumer () in
+  let buffer = Petri.Net.place_index net "buffer" in
+  Alcotest.(check (list int)) "consumers of buffer" [ consume ]
+    (Array.to_list net.Petri.Net.consumers.(buffer));
+  Alcotest.(check (list int)) "producers of buffer" [ produce ]
+    (Array.to_list net.Petri.Net.producers.(buffer));
+  let ready = Petri.Net.place_index net "ready" in
+  Alcotest.(check (list int)) "producers of ready" [ finish ]
+    (Array.to_list net.Petri.Net.producers.(ready))
+
+let test_parser_round_trip () =
+  let net, _, _, _ = producer_consumer () in
+  let text = Petri.Parser.to_string net in
+  let net' = Petri.Parser.of_string text in
+  Alcotest.(check string) "name preserved" net.Petri.Net.name net'.Petri.Net.name;
+  Alcotest.(check int) "places preserved" net.Petri.Net.n_places net'.Petri.Net.n_places;
+  Alcotest.(check int) "transitions preserved" net.Petri.Net.n_transitions
+    net'.Petri.Net.n_transitions;
+  Alcotest.(check bool) "marking preserved" true
+    (B.equal net.Petri.Net.initial net'.Petri.Net.initial);
+  for t = 0 to net.Petri.Net.n_transitions - 1 do
+    Alcotest.(check bool) "pre preserved" true
+      (B.equal net.Petri.Net.pre.(t) net'.Petri.Net.pre.(t));
+    Alcotest.(check bool) "post preserved" true
+      (B.equal net.Petri.Net.post.(t) net'.Petri.Net.post.(t))
+  done
+
+let test_parser_implicit_places () =
+  let net =
+    Petri.Parser.of_string "tr t1 : a b -> c\ntr t2 : c -> a\npl b (1)\n"
+  in
+  Alcotest.(check int) "implicit places" 3 net.Petri.Net.n_places;
+  Alcotest.(check bool) "marked b" true
+    (B.mem (Petri.Net.place_index net "b") net.Petri.Net.initial)
+
+let test_parser_comments_and_net_line () =
+  let net =
+    Petri.Parser.of_string
+      "# a comment\nnet demo\npl p (1)  # trailing comment\ntr t : p -> p\n"
+  in
+  Alcotest.(check string) "net name" "demo" net.Petri.Net.name;
+  Alcotest.(check int) "one place" 1 net.Petri.Net.n_places
+
+let test_parser_errors () =
+  let expect_error text =
+    match Petri.Parser.of_string text with
+    | _ -> Alcotest.fail "expected syntax error"
+    | exception Petri.Parser.Syntax_error _ -> ()
+  in
+  expect_error "tr t : a b c\n";
+  expect_error "tr t : a -> b -> c\n";
+  expect_error "pl\n";
+  expect_error "frobnicate x\n";
+  expect_error "pl p (2)\n"
+
+let test_round_trip_all_models () =
+  let nets =
+    [
+      Models.Nsdp.make 3;
+      Models.Asat.make 4;
+      Models.Over.make 3;
+      Models.Rw.make 4;
+      Models.Figures.fig3;
+    ]
+  in
+  List.iter
+    (fun net ->
+      let net' = Petri.Parser.of_string (Petri.Parser.to_string net) in
+      let r = Petri.Reachability.explore net in
+      let r' = Petri.Reachability.explore net' in
+      Alcotest.(check int)
+        (net.Petri.Net.name ^ " same state count")
+        r.states r'.states;
+      Alcotest.(check int)
+        (net.Petri.Net.name ^ " same deadlocks")
+        r.deadlock_count r'.deadlock_count)
+    nets
+
+let test_dot_output () =
+  let net, _, _, _ = producer_consumer () in
+  let dot = Petri.Dot.net net in
+  Alcotest.(check bool) "mentions digraph" true
+    (String.length dot > 0 && String.sub dot 0 8 = "digraph ");
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions buffer" true (contains "buffer" dot);
+  Alcotest.(check bool) "mentions consume" true (contains "consume" dot);
+  let rg =
+    Petri.Dot.reachability_graph net (Petri.Reachability.explore net)
+  in
+  Alcotest.(check bool) "rg mentions edges" true (contains "->" rg)
+
+let test_trace_replay () =
+  let net, produce, consume, finish = producer_consumer () in
+  let markings = Petri.Trace.replay net [ produce; consume; finish ] in
+  Alcotest.(check int) "markings count" 4 (List.length markings);
+  Alcotest.(check bool) "back to initial" true
+    (B.equal (Petri.Trace.final_marking net [ produce; consume; finish ])
+       net.Petri.Net.initial);
+  Alcotest.(check bool) "valid" true (Petri.Trace.is_valid net [ produce; consume ]);
+  Alcotest.(check bool) "invalid when disabled" false
+    (Petri.Trace.is_valid net [ consume ]);
+  match Petri.Trace.replay net [ consume ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "builder structure" `Quick test_builder_structure;
+    Alcotest.test_case "builder errors" `Quick test_builder_errors;
+    Alcotest.test_case "consumers and producers" `Quick test_consumers_producers;
+    Alcotest.test_case "parser round-trip" `Quick test_parser_round_trip;
+    Alcotest.test_case "parser implicit places" `Quick test_parser_implicit_places;
+    Alcotest.test_case "parser comments" `Quick test_parser_comments_and_net_line;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "round-trip all models" `Quick test_round_trip_all_models;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "trace replay" `Quick test_trace_replay;
+  ]

@@ -1,0 +1,147 @@
+(* Tests for the classical firing semantics (Definitions 2.3/2.4),
+   the conflict relation (Definition 2.2) and dynamic MCS computation. *)
+
+module B = Petri.Bitset
+
+let fig3 = Models.Figures.fig3
+
+let t name = Petri.Net.transition_index fig3 name
+let p name = Petri.Net.place_index fig3 name
+
+let test_enabling () =
+  let m0 = fig3.Petri.Net.initial in
+  Alcotest.(check bool) "A enabled" true (Petri.Semantics.enabled fig3 (t "A") m0);
+  Alcotest.(check bool) "B enabled" true (Petri.Semantics.enabled fig3 (t "B") m0);
+  Alcotest.(check bool) "C disabled" false (Petri.Semantics.enabled fig3 (t "C") m0);
+  Alcotest.(check (list int)) "enabled set" [ t "A"; t "B" ]
+    (B.elements (Petri.Semantics.enabled_set fig3 m0))
+
+let test_firing () =
+  let m0 = fig3.Petri.Net.initial in
+  let m1, safe = Petri.Semantics.fire fig3 (t "A") m0 in
+  Alcotest.(check bool) "safe firing" true safe;
+  Alcotest.(check bool) "A consumed p1, produced p2 p3" true
+    (B.equal m1 (B.of_list fig3.Petri.Net.n_places [ p "p2"; p "p3" ]));
+  Alcotest.(check bool) "C now enabled" true (Petri.Semantics.enabled fig3 (t "C") m1);
+  Alcotest.(check bool) "D still disabled" false
+    (Petri.Semantics.enabled fig3 (t "D") m1);
+  let m2 = Petri.Semantics.fire_exn fig3 (t "C") m1 in
+  Alcotest.(check bool) "C produced p5" true
+    (B.equal m2 (B.singleton fig3.Petri.Net.n_places (p "p5")));
+  Alcotest.(check bool) "deadlock after C" true (Petri.Semantics.is_deadlock fig3 m2)
+
+let test_successors () =
+  let m0 = fig3.Petri.Net.initial in
+  let successors = Petri.Semantics.successors fig3 m0 in
+  Alcotest.(check int) "two successors" 2 (List.length successors);
+  Alcotest.(check bool) "labels are A and B" true
+    (List.map fst successors = [ t "A"; t "B" ])
+
+let test_fire_sequence () =
+  let m0 = fig3.Petri.Net.initial in
+  (match Petri.Semantics.fire_sequence fig3 m0 [ t "A"; t "C" ] with
+  | Some m ->
+      Alcotest.(check bool) "A;C reaches p5" true
+        (B.equal m (B.singleton fig3.Petri.Net.n_places (p "p5")))
+  | None -> Alcotest.fail "A;C should be fireable");
+  Alcotest.(check bool) "A;D not fireable" true
+    (Petri.Semantics.fire_sequence fig3 m0 [ t "A"; t "D" ] = None);
+  Alcotest.(check bool) "A;B not fireable" true
+    (Petri.Semantics.fire_sequence fig3 m0 [ t "A"; t "B" ] = None)
+
+let test_unsafe_detection () =
+  (* t puts a second token into an already marked place. *)
+  let b = Petri.Builder.create "unsafe" in
+  let src = Petri.Builder.place b ~marked:true "src" in
+  let dst = Petri.Builder.place b ~marked:true "dst" in
+  let tr = Petri.Builder.transition b "t" ~pre:[ src ] ~post:[ dst ] in
+  let net = Petri.Builder.build b in
+  let _, safe = Petri.Semantics.fire net tr net.Petri.Net.initial in
+  Alcotest.(check bool) "unsafe detected" false safe;
+  match Petri.Semantics.fire_exn net tr net.Petri.Net.initial with
+  | _ -> Alcotest.fail "expected Unsafe"
+  | exception Petri.Semantics.Unsafe (t', _) ->
+      Alcotest.(check int) "culprit" tr t'
+
+let test_self_loop () =
+  let b = Petri.Builder.create "selfloop" in
+  let a = Petri.Builder.place b ~marked:true "a" in
+  let c = Petri.Builder.place b "c" in
+  let tr = Petri.Builder.transition b "t" ~pre:[ a ] ~post:[ a; c ] in
+  let net = Petri.Builder.build b in
+  let m1, safe = Petri.Semantics.fire net tr net.Petri.Net.initial in
+  Alcotest.(check bool) "self-loop is safe" true safe;
+  Alcotest.(check bool) "a kept, c added" true
+    (B.equal m1 (B.of_list 2 [ a; c ]))
+
+(* Conflict relation *)
+
+let test_conflict_relation () =
+  let conflict = Petri.Conflict.analyse fig3 in
+  Alcotest.(check bool) "A conflicts B" true
+    (Petri.Conflict.in_conflict conflict (t "A") (t "B"));
+  Alcotest.(check bool) "C conflicts D (share p3)" true
+    (Petri.Conflict.in_conflict conflict (t "C") (t "D"));
+  Alcotest.(check bool) "A does not conflict D directly" false
+    (Petri.Conflict.in_conflict conflict (t "A") (t "D"));
+  Alcotest.(check bool) "A reflexive" true
+    (Petri.Conflict.in_conflict conflict (t "A") (t "A"))
+
+let test_clusters () =
+  (* In fig3, A-B and C-D are joined through A's output?  No: clusters are
+     closures of shared-preset only: A,B share p1; C,D share p3; A and C do
+     not share a preset, so there are two clusters. *)
+  let conflict = Petri.Conflict.analyse fig3 in
+  Alcotest.(check bool) "A and B same cluster" true
+    (Petri.Conflict.cluster_of conflict (t "A") = Petri.Conflict.cluster_of conflict (t "B"));
+  Alcotest.(check bool) "C and D same cluster" true
+    (Petri.Conflict.cluster_of conflict (t "C") = Petri.Conflict.cluster_of conflict (t "D"));
+  Alcotest.(check bool) "A and C different clusters" true
+    (Petri.Conflict.cluster_of conflict (t "A") <> Petri.Conflict.cluster_of conflict (t "C"));
+  Alcotest.(check bool) "A is a choice transition" true
+    (Petri.Conflict.is_choice_transition conflict (t "A"));
+  Alcotest.(check (list int)) "conflict places = p1 p3" [ p "p1"; p "p3" ]
+    (B.elements (Petri.Conflict.conflict_places conflict))
+
+let test_dynamic_mcs () =
+  let conflict = Petri.Conflict.analyse fig3 in
+  let m0 = fig3.Petri.Net.initial in
+  let enabled = Petri.Semantics.enabled_set fig3 m0 in
+  (match Petri.Conflict.dynamic_mcs conflict enabled with
+  | [ mcs ] ->
+      Alcotest.(check (list int)) "initial MCS = {A,B}" [ t "A"; t "B" ]
+        (B.elements mcs)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 MCS, got %d" (List.length other)));
+  (* After firing A, only C is enabled: a singleton dynamic MCS even though
+     C's static cluster contains D. *)
+  let m1 = Petri.Semantics.fire_exn fig3 (t "A") m0 in
+  match Petri.Conflict.dynamic_mcs conflict (Petri.Semantics.enabled_set fig3 m1) with
+  | [ mcs ] -> Alcotest.(check (list int)) "dynamic MCS = {C}" [ t "C" ] (B.elements mcs)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 MCS, got %d" (List.length other))
+
+let test_nsdp_clusters () =
+  let net = Models.Nsdp.make 5 in
+  let conflict = Petri.Conflict.analyse net in
+  let choice_clusters =
+    Array.to_list (Petri.Conflict.clusters conflict)
+    |> List.filter (fun c -> B.cardinal c >= 2)
+  in
+  Alcotest.(check int) "one fork cluster per philosopher" 5
+    (List.length choice_clusters);
+  List.iter
+    (fun c -> Alcotest.(check int) "pair cluster" 2 (B.cardinal c))
+    choice_clusters
+
+let suite =
+  [
+    Alcotest.test_case "enabling rule" `Quick test_enabling;
+    Alcotest.test_case "firing rule" `Quick test_firing;
+    Alcotest.test_case "successors" `Quick test_successors;
+    Alcotest.test_case "fire sequence" `Quick test_fire_sequence;
+    Alcotest.test_case "unsafe detection" `Quick test_unsafe_detection;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+    Alcotest.test_case "conflict relation" `Quick test_conflict_relation;
+    Alcotest.test_case "conflict clusters" `Quick test_clusters;
+    Alcotest.test_case "dynamic MCS" `Quick test_dynamic_mcs;
+    Alcotest.test_case "NSDP clusters" `Quick test_nsdp_clusters;
+  ]

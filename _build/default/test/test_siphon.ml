@@ -1,0 +1,166 @@
+(* Tests for the structural siphon/trap analysis, including its use as
+   an independent oracle for the reachability engines: the empty places
+   of every dead marking form a siphon, and every dead marking leaves
+   some minimal siphon unmarked. *)
+
+module B = Petri.Bitset
+
+let test_basic_definitions () =
+  let net = Models.Nsdp.make 2 in
+  let p name = Petri.Net.place_index net name in
+  (* All forks plus the places that "hold" them form a siphon and a trap
+     in NSDP(2): tokens circulate among them. *)
+  let full = B.full net.Petri.Net.n_places in
+  Alcotest.(check bool) "all places form a siphon" true (Petri.Siphon.is_siphon net full);
+  Alcotest.(check bool) "all places form a trap" true (Petri.Siphon.is_trap net full);
+  Alcotest.(check bool) "empty set is no siphon" false
+    (Petri.Siphon.is_siphon net (B.empty net.Petri.Net.n_places));
+  (* A single fork place is not a siphon: release feeds it without
+     consuming from it. *)
+  Alcotest.(check bool) "fork alone is not a siphon" false
+    (Petri.Siphon.is_siphon net (B.singleton net.Petri.Net.n_places (p "fork.0")))
+
+let test_minimal_siphons_structure () =
+  let net = Models.Nsdp.make 3 in
+  let siphons = Petri.Siphon.minimal_siphons net in
+  Alcotest.(check bool) "some siphons" true (siphons <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "each is a siphon" true (Petri.Siphon.is_siphon net s);
+      (* Minimality: removing any place breaks the property. *)
+      B.iter
+        (fun pl ->
+          Alcotest.(check bool) "minimal" false
+            (Petri.Siphon.is_siphon net (B.remove pl s)))
+        s)
+    siphons
+
+let test_dead_marking_empty_places_form_siphon () =
+  (* The fundamental theorem connecting structure and behaviour. *)
+  let nets =
+    [ Models.Nsdp.make 2; Models.Nsdp.make 3; Models.Figures.fig2 3; Models.Figures.fig3 ]
+  in
+  List.iter
+    (fun net ->
+      let r = Petri.Reachability.explore ~max_deadlocks:64 net in
+      List.iter
+        (fun dead ->
+          let empty = Petri.Siphon.empty_places net dead in
+          Alcotest.(check bool)
+            (net.Petri.Net.name ^ ": empty places of a dead marking are a siphon")
+            true
+            (Petri.Siphon.is_siphon net empty))
+        r.deadlocks)
+    nets
+
+let test_dead_marking_empty_places_random () =
+  for seed = 0 to 99 do
+    let net = Models.Random_net.generate seed in
+    let r = Petri.Reachability.explore ~max_deadlocks:32 net in
+    List.iter
+      (fun dead ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d" seed)
+          true
+          (Petri.Siphon.is_siphon net (Petri.Siphon.empty_places net dead)))
+      r.deadlocks
+  done
+
+let test_unmarked_witness_at_deadlock () =
+  let net = Models.Nsdp.make 3 in
+  let r = Petri.Reachability.explore net in
+  match r.deadlocks with
+  | [] -> Alcotest.fail "NSDP deadlocks"
+  | dead :: _ -> begin
+      match Petri.Siphon.unmarked_witness net dead with
+      | None -> Alcotest.fail "a dead marking always leaves a minimal siphon empty"
+      | Some s ->
+          Alcotest.(check bool) "witness is a siphon" true (Petri.Siphon.is_siphon net s);
+          Alcotest.(check bool) "witness unmarked" true (B.disjoint s dead)
+    end
+
+let test_traps () =
+  let net = Models.Rw.make 3 in
+  let full = B.full net.Petri.Net.n_places in
+  let trap = Petri.Siphon.max_trap_inside net full in
+  Alcotest.(check bool) "whole net is a trap" true (B.equal trap full);
+  (* A trap that starts marked stays marked along every run. *)
+  let r = Petri.Reachability.explore net in
+  let siphons = Petri.Siphon.minimal_siphons net in
+  List.iter
+    (fun s ->
+      let t = Petri.Siphon.max_trap_inside net s in
+      if (not (B.is_empty t)) && B.intersects t net.Petri.Net.initial then
+        Petri.Reachability.Marking_table.iter
+          (fun m () ->
+            Alcotest.(check bool) "marked trap stays marked" true (B.intersects t m))
+          r.visited)
+    siphons
+
+let test_commoner_on_deadlocking_net () =
+  (* NSDP deadlocks, so Commoner's condition must fail for it (the
+     contrapositive direction holds for all ordinary nets: a reachable
+     dead marking empties some siphon, which therefore cannot contain a
+     marked trap). *)
+  Alcotest.(check bool) "commoner fails on NSDP" false
+    (Petri.Siphon.commoner_holds (Models.Nsdp.make 3));
+  (* fig2 ends in terminal (dead) markings: same. *)
+  Alcotest.(check bool) "commoner fails on fig2" false
+    (Petri.Siphon.commoner_holds (Models.Figures.fig2 2))
+
+let test_commoner_on_live_free_choice_net () =
+  (* A live free-choice cycle: one token rotating through three places. *)
+  let net =
+    Petri.Parser.of_string
+      "pl a (1)\npl b\npl c\ntr t1 : a -> b\ntr t2 : b -> c\ntr t3 : c -> a\n"
+  in
+  Alcotest.(check bool) "free choice" true (Petri.Siphon.is_free_choice net);
+  Alcotest.(check bool) "commoner holds" true (Petri.Siphon.commoner_holds net);
+  let r = Petri.Reachability.explore net in
+  Alcotest.(check int) "indeed deadlock free" 0 r.deadlock_count
+
+let test_free_choice_classification () =
+  Alcotest.(check bool) "fig2 is free choice" true
+    (Petri.Siphon.is_free_choice (Models.Figures.fig2 3));
+  (* NSDP is not free choice: fork places share consumers with other
+     input places. *)
+  Alcotest.(check bool) "NSDP is not free choice" false
+    (Petri.Siphon.is_free_choice (Models.Nsdp.make 3))
+
+let test_commoner_agrees_with_search_on_free_choice () =
+  (* For random free-choice nets, Commoner ⟹ deadlock-free.  Build
+     free-choice nets from state machines (every transition has one
+     input): always free choice. *)
+  for seed = 0 to 49 do
+    let spec =
+      { Models.Random_net.components = 2; states_per_component = 3;
+        transitions = 6; max_sync = 1 }
+    in
+    let net = Models.Random_net.generate ~spec seed in
+    if Petri.Siphon.is_free_choice net && Petri.Siphon.commoner_holds net then begin
+      let r = Petri.Reachability.explore net in
+      Alcotest.(check int) (Printf.sprintf "seed %d deadlock free" seed) 0
+        r.deadlock_count
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "definitions" `Quick test_basic_definitions;
+    Alcotest.test_case "minimal siphons" `Quick test_minimal_siphons_structure;
+    Alcotest.test_case "dead markings empty a siphon (models)" `Quick
+      test_dead_marking_empty_places_form_siphon;
+    Alcotest.test_case "dead markings empty a siphon (random)" `Quick
+      test_dead_marking_empty_places_random;
+    Alcotest.test_case "unmarked witness at deadlock" `Quick
+      test_unmarked_witness_at_deadlock;
+    Alcotest.test_case "traps" `Quick test_traps;
+    Alcotest.test_case "Commoner fails on deadlocking nets" `Quick
+      test_commoner_on_deadlocking_net;
+    Alcotest.test_case "Commoner holds on a live cycle" `Quick
+      test_commoner_on_live_free_choice_net;
+    Alcotest.test_case "free-choice classification" `Quick
+      test_free_choice_classification;
+    Alcotest.test_case "Commoner implies deadlock-freedom (free choice)" `Quick
+      test_commoner_agrees_with_search_on_free_choice;
+  ]

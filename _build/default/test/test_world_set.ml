@@ -1,0 +1,115 @@
+(* Tests for Gpn.World_set and Gpn.State. *)
+
+module B = Petri.Bitset
+module W = Gpn.World_set
+
+let w xs = B.of_list 8 xs
+
+let test_basics () =
+  let s = W.of_list [ w [ 0 ]; w [ 1; 2 ]; w [ 0 ] ] in
+  Alcotest.(check int) "duplicates collapse" 2 (W.cardinal s);
+  Alcotest.(check bool) "mem" true (W.mem (w [ 1; 2 ]) s);
+  Alcotest.(check bool) "not mem" false (W.mem (w [ 2 ]) s);
+  Alcotest.(check bool) "empty" true (W.is_empty W.empty);
+  Alcotest.(check bool) "singleton" true (W.mem (w [ 3 ]) (W.singleton (w [ 3 ])))
+
+let test_algebra () =
+  let a = W.of_list [ w [ 0 ]; w [ 1 ] ] in
+  let b = W.of_list [ w [ 1 ]; w [ 2 ] ] in
+  Alcotest.(check int) "union" 3 (W.cardinal (W.union a b));
+  Alcotest.(check int) "inter" 1 (W.cardinal (W.inter a b));
+  Alcotest.(check bool) "inter content" true (W.mem (w [ 1 ]) (W.inter a b));
+  Alcotest.(check int) "diff" 1 (W.cardinal (W.diff a b));
+  Alcotest.(check bool) "subset" true (W.subset (W.inter a b) a);
+  Alcotest.(check bool) "equal" true (W.equal (W.union a b) (W.union b a));
+  Alcotest.(check bool) "hash agrees" true
+    (W.hash (W.union a b) = W.hash (W.union b a))
+
+let test_filter_member () =
+  let s = W.of_list [ w [ 0; 1 ]; w [ 1; 2 ]; w [ 2; 3 ] ] in
+  let with1 = W.filter_member 1 s in
+  Alcotest.(check int) "two contain 1" 2 (W.cardinal with1);
+  Alcotest.(check bool) "right ones" true
+    (W.mem (w [ 0; 1 ]) with1 && W.mem (w [ 1; 2 ]) with1)
+
+let test_inter_all () =
+  let a = W.of_list [ w [ 0 ]; w [ 1 ]; w [ 2 ] ] in
+  let b = W.of_list [ w [ 1 ]; w [ 2 ] ] in
+  let c = W.of_list [ w [ 2 ]; w [ 3 ] ] in
+  Alcotest.(check int) "three-way inter" 1 (W.cardinal (W.inter_all [ a; b; c ]));
+  match W.inter_all [] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_product () =
+  let f1 = W.of_list [ w [ 0 ]; w [ 1 ] ] in
+  let f2 = W.of_list [ w [ 2 ]; w [ 3 ] ] in
+  let p = W.product 8 [ f1; f2 ] in
+  Alcotest.(check int) "2x2 product" 4 (W.cardinal p);
+  Alcotest.(check bool) "contains 0+2" true (W.mem (w [ 0; 2 ]) p);
+  Alcotest.(check bool) "contains 1+3" true (W.mem (w [ 1; 3 ]) p);
+  let empty_product = W.product 8 [] in
+  Alcotest.(check int) "empty product = {∅}" 1 (W.cardinal empty_product);
+  Alcotest.(check bool) "empty world" true (W.mem (B.empty 8) empty_product)
+
+let test_state_denotation () =
+  (* Build a GPN state by hand and check the mapping of Definition 3.4. *)
+  let v1 = w [ 0 ] and v2 = w [ 1 ] in
+  let r = W.of_list [ v1; v2 ] in
+  let m = [| W.singleton v1; W.singleton v2; r; W.empty |] in
+  let s = Gpn.State.make m r in
+  Alcotest.(check (list int)) "world v1 denotes {p0, p2}" [ 0; 2 ]
+    (B.elements (Gpn.State.denoted_marking s v1));
+  Alcotest.(check (list int)) "world v2 denotes {p1, p2}" [ 1; 2 ]
+    (B.elements (Gpn.State.denoted_marking s v2));
+  Alcotest.(check int) "mapping has two markings" 2
+    (List.length (Gpn.State.mapping s))
+
+let test_state_normalizes_to_r () =
+  (* State.make intersects every place with r. *)
+  let v1 = w [ 0 ] and v2 = w [ 1 ] in
+  let r = W.singleton v1 in
+  let s = Gpn.State.make [| W.of_list [ v1; v2 ] |] r in
+  Alcotest.(check int) "stale world pruned" 1 (W.cardinal (Gpn.State.marking s 0))
+
+let test_state_equality_and_hash () =
+  let v1 = w [ 0 ] and v2 = w [ 1 ] in
+  let r = W.of_list [ v1; v2 ] in
+  let s1 = Gpn.State.make [| W.singleton v1; W.singleton v2 |] r in
+  let s2 = Gpn.State.make [| W.singleton v1; W.singleton v2 |] r in
+  let s3 = Gpn.State.make [| W.singleton v2; W.singleton v1 |] r in
+  Alcotest.(check bool) "equal states" true (Gpn.State.equal s1 s2);
+  Alcotest.(check int) "compare 0" 0 (Gpn.State.compare s1 s2);
+  Alcotest.(check bool) "hash agrees" true (Gpn.State.hash s1 = Gpn.State.hash s2);
+  Alcotest.(check bool) "different states differ" false (Gpn.State.equal s1 s3)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:200 gen f)
+
+let gen_world = QCheck2.Gen.(map (fun xs -> w xs) (list_size (0 -- 4) (0 -- 7)))
+let gen_ws = QCheck2.Gen.(map W.of_list (list_size (0 -- 8) gen_world))
+
+let props =
+  let open QCheck2.Gen in
+  [
+    prop "world-set union commutes" (pair gen_ws gen_ws) (fun (a, b) ->
+        W.equal (W.union a b) (W.union b a));
+    prop "world-set inter associates" (triple gen_ws gen_ws gen_ws) (fun (a, b, c) ->
+        W.equal (W.inter a (W.inter b c)) (W.inter (W.inter a b) c));
+    prop "filter_member is a filter" (pair (0 -- 7) gen_ws) (fun (t, s) ->
+        W.for_all (fun v -> B.mem t v) (W.filter_member t s));
+    prop "singleton product is identity" gen_ws (fun a ->
+        W.equal (W.product 8 [ a ]) a || W.is_empty a);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "algebra" `Quick test_algebra;
+    Alcotest.test_case "filter_member" `Quick test_filter_member;
+    Alcotest.test_case "inter_all" `Quick test_inter_all;
+    Alcotest.test_case "product" `Quick test_product;
+    Alcotest.test_case "state denotation" `Quick test_state_denotation;
+    Alcotest.test_case "state normalizes to r" `Quick test_state_normalizes_to_r;
+    Alcotest.test_case "state equality and hash" `Quick test_state_equality_and_hash;
+  ]
+  @ props

@@ -11,6 +11,13 @@
 let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
+(* Every job also writes its numbers as BENCH_<job>.json — the
+   machine-readable record future PRs diff their measurements against. *)
+let write_report job json =
+  let path = Printf.sprintf "BENCH_%s.json" job in
+  Harness.Report.write_file path json;
+  Format.printf "wrote %s@." path
+
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
@@ -24,21 +31,23 @@ let table1 () =
      'skip' = the engine's per-family time budget was exhausted — these@.\
      are the paper's \"> 24 hours\" cells.@.@.";
   let measurements = Harness.Experiment.table1 ~max_states:5_000_000 () in
-  Format.printf "%a@." Harness.Experiment.pp_table1 measurements
+  Format.printf "%a@." Harness.Experiment.pp_table1 measurements;
+  write_report "table1" (Harness.Report.json_of_table1 measurements)
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
 
 let fig1 () =
   section "Figure 1 — three concurrent transitions";
-  List.iter
-    (fun (label, count) -> Format.printf "%-45s %d@." label count)
-    (Harness.Experiment.fig1_series ())
+  let series = Harness.Experiment.fig1_series () in
+  List.iter (fun (label, count) -> Format.printf "%-45s %d@." label count) series;
+  write_report "fig1" (Harness.Report.json_of_fig1 series)
 
 let fig2 () =
   section "Figure 2 — N concurrently marked conflict pairs";
-  Format.printf "%a@." Harness.Experiment.pp_fig2
-    (Harness.Experiment.fig2_series ~max_n:12 ())
+  let series = Harness.Experiment.fig2_series ~max_n:12 () in
+  Format.printf "%a@." Harness.Experiment.pp_fig2 series;
+  write_report "fig2" (Harness.Report.json_of_fig2 series)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices called out in DESIGN.md             *)
@@ -49,8 +58,12 @@ let time f =
   (r, Unix.gettimeofday () -. t0)
 
 let ablation () =
+  let module J = Gpo_obs.Json in
   section "Ablation — GPO explorer variants";
   Format.printf "%-10s %-26s %8s %6s %9s@." "net" "variant" "states" "runs" "time";
+  let gpo_rows = ref [] in
+  let smv_rows = ref [] in
+  let stubborn_rows = ref [] in
   let nets =
     [
       ("nsdp-8", Models.Nsdp.make 8);
@@ -84,7 +97,17 @@ let ablation () =
             Format.printf "%-10s %-26s %8d %6d %8.3fs@." name vname
               r.Gpn.Explorer.states
               (List.length r.Gpn.Explorer.runs)
-              t
+              t;
+            gpo_rows :=
+              J.Obj
+                [
+                  ("net", J.String name);
+                  ("variant", J.String vname);
+                  ("states", J.Int r.Gpn.Explorer.states);
+                  ("runs", J.Int (List.length r.Gpn.Explorer.runs));
+                  ("time_s", J.Float t);
+                ]
+              :: !gpo_rows
           end)
         variants;
       Format.printf "@.")
@@ -100,7 +123,17 @@ let ablation () =
         (fun (vname, partitioned) ->
           let r, t = time (fun () -> Bddkit.Symbolic.analyse ~partitioned net) in
           Format.printf "%-10s %-14s %10.0f %12d %8.3fs@." name vname
-            r.Bddkit.Symbolic.states r.Bddkit.Symbolic.peak_live_nodes t)
+            r.Bddkit.Symbolic.states r.Bddkit.Symbolic.peak_live_nodes t;
+          smv_rows :=
+            J.Obj
+              [
+                ("net", J.String name);
+                ("relation", J.String vname);
+                ("states", J.Float r.Bddkit.Symbolic.states);
+                ("peak_nodes", J.Int r.Bddkit.Symbolic.peak_live_nodes);
+                ("time_s", J.Float t);
+              ]
+            :: !smv_rows)
         [ ("partitioned", true); ("monolithic", false) ])
     [
       ("nsdp-6", Models.Nsdp.make 6);
@@ -115,13 +148,30 @@ let ablation () =
         (fun (hname, heuristic) ->
           let r, t = time (fun () -> Petri.Stubborn.explore ~heuristic net) in
           Format.printf "%-10s %-12s %8d %8.3fs@." name hname
-            r.Petri.Reachability.states t)
+            r.Petri.Reachability.states t;
+          stubborn_rows :=
+            J.Obj
+              [
+                ("net", J.String name);
+                ("heuristic", J.String hname);
+                ("states", J.Int r.Petri.Reachability.states);
+                ("time_s", J.Float t);
+              ]
+            :: !stubborn_rows)
         [ ("first-seed", Petri.Stubborn.First_seed); ("smallest", Petri.Stubborn.Smallest) ])
     [
       ("nsdp-6", Models.Nsdp.make 6);
       ("asat-4", Models.Asat.make 4);
       ("over-4", Models.Over.make 4);
-    ]
+    ];
+  write_report "ablation"
+    (J.Obj
+       [
+         ("table", J.String "ablation");
+         ("gpo_variants", J.List (List.rev !gpo_rows));
+         ("symbolic_relation", J.List (List.rev !smv_rows));
+         ("stubborn_heuristic", J.List (List.rev !stubborn_rows));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one grouped test per Table 1 family and
@@ -187,20 +237,51 @@ let micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results =
+          Benchmark.all cfg instances test
+          |> Analyze.all ols Toolkit.Instance.monotonic_clock
+        in
+        (* Hashtbl.iter order is hash order — sort by name so successive
+           runs (and the JSON report) diff cleanly. *)
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let est =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ est ] -> Some est
+              | _ -> None
+            in
+            (name, est) :: acc)
+          results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+      (bechamel_tests ())
+  in
   List.iter
-    (fun test ->
-      let results =
-        Benchmark.all cfg instances test
-        |> Analyze.all ols Toolkit.Instance.monotonic_clock
-      in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Format.printf "%-28s %12.0f ns/run@." name est
-          | _ -> Format.printf "%-28s (no estimate)@." name)
-        results)
-    (bechamel_tests ());
-  Format.printf "@."
+    (fun (name, est) ->
+      match est with
+      | Some est -> Format.printf "%-28s %12.0f ns/run@." name est
+      | None -> Format.printf "%-28s (no estimate)@." name)
+    rows;
+  Format.printf "@.";
+  let module J = Gpo_obs.Json in
+  write_report "micro"
+    (J.Obj
+       [
+         ("table", J.String "micro");
+         ( "results",
+           J.List
+             (List.map
+                (fun (name, est) ->
+                  J.Obj
+                    [
+                      ("name", J.String name);
+                      ( "ns_per_run",
+                        match est with Some e -> J.Float e | None -> J.Null );
+                    ])
+                rows) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 

@@ -12,6 +12,83 @@
 
 open Cmdliner
 
+(* Exit codes (PROVE-style, so the CLI is scriptable):
+     0 — the property holds / no deadlock found;
+     1 — a deadlock or safety violation was found;
+     2 — usage error (bad net source, bad arguments). *)
+let exit_holds = 0
+let exit_violated = 1
+let exit_usage = 2
+
+let verdict_exits =
+  Cmd.Exit.info exit_holds ~doc:"the net is deadlock free / the property holds."
+  :: Cmd.Exit.info exit_violated ~doc:"a deadlock or property violation was found."
+  :: Cmd.Exit.info exit_usage ~doc:"usage error: bad net source or arguments."
+  :: Cmd.Exit.defaults
+
+(* Wrap a command body so our own [failwith]s (and unreadable --file
+   arguments) become exit code 2. *)
+let usage_checked f =
+  try f () with
+  | Failure msg | Sys_error msg ->
+      Format.eprintf "julie: %s@." msg;
+      exit_usage
+
+(* ------------------------------------------------------------------ *)
+(* Observability options (shared by analyze and safety)                *)
+
+type obs_opts = { stats : bool; metrics_out : string option; progress : bool }
+
+let obs_term =
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"After each engine run, print the telemetry summary: counters \
+                 (states, restarts, cache hits), distributions (worlds per \
+                 state, stubborn-set sizes) and span timings.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Stream the telemetry event trace (spans, progress samples, \
+                 final totals) to $(docv) as JSON Lines, one event per line.")
+  in
+  let progress =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Force the stderr progress heartbeat (default: enabled by \
+                 $(b,--stats) when stderr is a terminal).")
+  in
+  Term.(const (fun stats metrics_out progress -> { stats; metrics_out; progress })
+        $ stats $ metrics_out $ progress)
+
+(* Install the sink/heartbeat described by the options around [f].
+   [--stats] alone still installs the (null) sink: spans and
+   distributions only record while a sink is enabled. *)
+let with_obs opts f =
+  let oc = Option.map open_out opts.metrics_out in
+  let want_sink = opts.stats || opts.progress || oc <> None in
+  (match oc with
+  | Some oc -> Gpo_obs.install (Gpo_obs.jsonl_channel_sink oc)
+  | None -> if want_sink then Gpo_obs.install Gpo_obs.null_sink);
+  if opts.progress || (opts.stats && Unix.isatty Unix.stderr) then
+    Gpo_obs.Progress.set_heartbeat
+      (Some (fun line -> Format.eprintf "[progress] %s@." line));
+  Fun.protect
+    ~finally:(fun () ->
+      Gpo_obs.Progress.set_heartbeat None;
+      if want_sink then Gpo_obs.uninstall ();
+      Option.iter close_out oc)
+    f
+
+(* One instrumented engine run: telemetry is reset so the summary and
+   the emitted totals cover exactly this run. *)
+let observed_run opts ~net_name kind f =
+  Gpo_obs.reset ();
+  Gpo_obs.meta "run"
+    [ ("net", Gpo_obs.S net_name); ("engine", Gpo_obs.S (Harness.Engine.name kind)) ];
+  let outcome = f () in
+  Gpo_obs.emit_snapshot ();
+  if opts.stats then Format.printf "%a@." Gpo_obs.pp_summary (Gpo_obs.snapshot ());
+  outcome
+
 (* ------------------------------------------------------------------ *)
 (* Net sources                                                         *)
 
@@ -27,7 +104,14 @@ let load_net file builtin size =
       | "fig7" -> Models.Figures.fig7
       | "scheduler" -> Models.Scheduler.make size
       | "random" -> Models.Random_net.generate size
-      | id -> (Harness.Experiment.family id).make size
+      | id -> (
+          match Harness.Experiment.family id with
+          | fam -> fam.make size
+          | exception Not_found ->
+              failwith
+                (Printf.sprintf
+                   "unknown model %S (expected nsdp, asat, over, rw, scheduler, \
+                    random, or a figure)" id))
     end
   | Some _, Some _ -> failwith "give either --file or --model, not both"
   | None, None -> failwith "a net is required: --file FILE or --model NAME"
@@ -68,36 +152,58 @@ let engines_arg =
   let doc = "Engine to run: full, po, smv or gpo (repeatable; default all)." in
   Arg.(value & opt_all engine_conv [] & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
-let analyze file builtin size engines max_states =
+let analyze file builtin size engines max_states obs =
+  usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
   let engines = if engines = [] then Harness.Engine.all else engines in
-  List.iter
-    (fun kind ->
-      let o = Harness.Engine.run ~max_states kind net in
-      Format.printf "%a@." Harness.Engine.pp_outcome o)
-    engines
+  with_obs obs @@ fun () ->
+  let deadlock_found =
+    List.fold_left
+      (fun acc kind ->
+        let o =
+          observed_run obs ~net_name:net.Petri.Net.name kind (fun () ->
+              Harness.Engine.run ~max_states kind net)
+        in
+        Format.printf "%a@." Harness.Engine.pp_outcome o;
+        acc || o.Harness.Engine.deadlock)
+      false engines
+  in
+  if deadlock_found then exit_violated else exit_holds
 
 let analyze_cmd =
-  let info = Cmd.info "analyze" ~doc:"Check a net for deadlock with the chosen engines." in
+  let info =
+    Cmd.info "analyze" ~exits:verdict_exits
+      ~doc:"Check a net for deadlock with the chosen engines.  Exits with 0 \
+            when every engine reports the net deadlock free, 1 when a \
+            deadlock is found, 2 on usage errors."
+  in
   Cmd.v info
-    Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg $ max_states_arg)
+    Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg
+          $ max_states_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
 
 let trace file builtin size =
+  usage_checked @@ fun () ->
   let net = load_net file builtin size in
   let result = Gpn.Explorer.analyse net in
   match result.deadlocks with
-  | [] -> Format.printf "deadlock free (%d GPO states)@." result.states
+  | [] ->
+      Format.printf "deadlock free (%d GPO states)@." result.states;
+      exit_holds
   | witness :: _ ->
       let tr = Gpn.Explorer.deadlock_trace result witness in
       Format.printf "@[<v>deadlock reached by:@ %a@ @ %a@]@." (Petri.Trace.pp net) tr
-        (Petri.Trace.pp_replay net) tr
+        (Petri.Trace.pp_replay net) tr;
+      exit_violated
 
 let trace_cmd =
-  let info = Cmd.info "trace" ~doc:"Print a firing sequence reaching a deadlock (GPO engine)." in
+  let info =
+    Cmd.info "trace" ~exits:verdict_exits
+      ~doc:"Print a firing sequence reaching a deadlock (GPO engine)."
+  in
   Cmd.v info Term.(const trace $ file_arg $ model_arg $ size_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -107,7 +213,8 @@ let table1 budget =
   let measurements =
     Harness.Experiment.table1 ~max_states:5_000_000 ~full_budget:budget ()
   in
-  Format.printf "%a@." Harness.Experiment.pp_table1 measurements
+  Format.printf "%a@." Harness.Experiment.pp_table1 measurements;
+  exit_holds
 
 let table1_cmd =
   let budget =
@@ -118,7 +225,8 @@ let table1_cmd =
   Cmd.v info Term.(const table1 $ budget)
 
 let fig which max_n =
-  match which with
+  usage_checked @@ fun () ->
+  (match which with
   | "fig1" | "1" ->
       List.iter
         (fun (label, count) -> Format.printf "%-45s %d@." label count)
@@ -126,7 +234,8 @@ let fig which max_n =
   | "fig2" | "2" ->
       Format.printf "%a@." Harness.Experiment.pp_fig2
         (Harness.Experiment.fig2_series ~max_n ())
-  | s -> failwith (Printf.sprintf "unknown figure %S (expected fig1 or fig2)" s)
+  | s -> failwith (Printf.sprintf "unknown figure %S (expected fig1 or fig2)" s));
+  exit_holds
 
 let fig_cmd =
   let which =
@@ -142,6 +251,7 @@ let fig_cmd =
 (* dot                                                                 *)
 
 let dot file builtin size graph gpo_graph output =
+  usage_checked @@ fun () ->
   let net = load_net file builtin size in
   let contents =
     if gpo_graph then Gpn.Render.result (Gpn.Explorer.analyse net)
@@ -149,11 +259,12 @@ let dot file builtin size graph gpo_graph output =
       Petri.Dot.reachability_graph net (Petri.Reachability.explore ~max_states:10_000 net)
     else Petri.Dot.net net
   in
-  match output with
+  (match output with
   | None -> print_string contents
   | Some path ->
       Petri.Dot.write path contents;
-      Format.printf "wrote %s@." path
+      Format.printf "wrote %s@." path);
+  exit_holds
 
 let dot_cmd =
   let graph =
@@ -175,7 +286,8 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 (* safety                                                              *)
 
-let safety file builtin size cover engine =
+let safety file builtin size cover engine obs =
+  usage_checked @@ fun () ->
   let net = load_net file builtin size in
   if cover = [] then failwith "--place PLACE (repeatable) is required";
   let property =
@@ -185,20 +297,27 @@ let safety file builtin size cover engine =
     }
   in
   let monitored = Petri.Safety.monitor net property in
-  let outcome = Harness.Engine.run engine monitored in
+  with_obs obs @@ fun () ->
+  let outcome =
+    observed_run obs ~net_name:monitored.Petri.Net.name engine (fun () ->
+        Harness.Engine.run engine monitored)
+  in
   if outcome.Harness.Engine.deadlock then begin
     Format.printf "VIOLATED: {%s} can be marked simultaneously@."
       (String.concat ", " cover);
-    match Petri.Safety.covering_marking net property with
+    (match Petri.Safety.covering_marking net property with
     | Some trace -> Format.printf "scenario: %a@." (Petri.Trace.pp net) trace
-    | None -> ()
+    | None -> ());
+    exit_violated
   end
-  else
+  else begin
     Format.printf "holds: {%s} never marked simultaneously (%s engine, %.0f %s)@."
       (String.concat ", " cover)
       (Harness.Engine.name engine)
       outcome.Harness.Engine.metric
-      (match engine with Harness.Engine.Symbolic -> "peak nodes" | _ -> "states")
+      (match engine with Harness.Engine.Symbolic -> "peak nodes" | _ -> "states");
+    exit_holds
+  end
 
 let safety_cmd =
   let cover =
@@ -210,15 +329,19 @@ let safety_cmd =
            & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Engine for the deadlock check.")
   in
   let info =
-    Cmd.info "safety"
-      ~doc:"Check a coverability safety property by reduction to deadlock."
+    Cmd.info "safety" ~exits:verdict_exits
+      ~doc:"Check a coverability safety property by reduction to deadlock.  \
+            Exits with 0 when the property holds, 1 when it is violated, 2 \
+            on usage errors."
   in
-  Cmd.v info Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine)
+  Cmd.v info
+    Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* siphons                                                             *)
 
 let siphons file builtin size =
+  usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
   Format.printf "free choice: %b@." (Petri.Siphon.is_free_choice net);
@@ -234,7 +357,8 @@ let siphons file builtin size =
       Format.printf "  %a — max trap %s@." (Petri.Net.pp_marking net) s
         (if marked then "marked (protected)" else "unmarked (deadlock risk)"))
     siphons;
-  Format.printf "Commoner's condition: %b@." (Petri.Siphon.commoner_holds net)
+  Format.printf "Commoner's condition: %b@." (Petri.Siphon.commoner_holds net);
+  exit_holds
 
 let siphons_cmd =
   let info =
@@ -246,6 +370,7 @@ let siphons_cmd =
 (* info                                                                *)
 
 let info_command file builtin size =
+  usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
   let conflict = Petri.Conflict.analyse net in
@@ -263,7 +388,8 @@ let info_command file builtin size =
     (fun y -> Format.printf "  %a@." (Petri.Invariant.pp_invariant ~kind:`Place net) y)
     p_invariants;
   let report = Petri.Properties.check ~max_states:200_000 net in
-  Format.printf "%a@." (Petri.Properties.pp_report net) report
+  Format.printf "%a@." (Petri.Properties.pp_report net) report;
+  exit_holds
 
 let info_cmd =
   let info = Cmd.info "info" ~doc:"Structural and behavioural report for a net." in
@@ -273,11 +399,15 @@ let info_cmd =
 
 let main =
   let doc = "generalized partial-order verification of safe Petri nets" in
-  let info = Cmd.info "julie" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "julie" ~version:"1.0.0" ~doc ~exits:verdict_exits in
   Cmd.group info
     [
       analyze_cmd; trace_cmd; safety_cmd; siphons_cmd; table1_cmd; fig_cmd;
       dot_cmd; info_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  let code = Cmd.eval' main in
+  (* Cmdliner reports its own parse errors with its default code; remap
+     to the documented usage-error code. *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -20,6 +20,16 @@ end
 
 module Cache = Hashtbl.Make (Cache_key)
 
+(* Telemetry: memoization effectiveness of the two operation caches and
+   unique-table growth.  Bare counter increments — these sit on the
+   hottest paths of the symbolic engine, and an increment is noise next
+   to the hash-table probe it annotates. *)
+let c_apply_hit = Gpo_obs.Counter.make "bdd.apply.cache_hit"
+let c_apply_miss = Gpo_obs.Counter.make "bdd.apply.cache_miss"
+let c_ite_hit = Gpo_obs.Counter.make "bdd.ite.cache_hit"
+let c_ite_miss = Gpo_obs.Counter.make "bdd.ite.cache_miss"
+let c_nodes_created = Gpo_obs.Counter.make "bdd.nodes.created"
+
 type manager = {
   unique : t Unique.t;
   mutable next_id : int;
@@ -50,6 +60,7 @@ let mk m var low high =
     match Unique.find_opt m.unique key with
     | Some node -> node
     | None ->
+        Gpo_obs.Counter.incr c_nodes_created;
         let node = Node { var; low; high; id = m.next_id } in
         m.next_id <- m.next_id + 1;
         Unique.add m.unique key node;
@@ -89,8 +100,11 @@ let rec not_ m t =
   | Node n -> begin
       let key = (tag_not, n.id, 0) in
       match Cache.find_opt m.cache key with
-      | Some r -> r
+      | Some r ->
+          Gpo_obs.Counter.incr c_apply_hit;
+          r
       | None ->
+          Gpo_obs.Counter.incr c_apply_miss;
           let r = mk m n.var (not_ m n.low) (not_ m n.high) in
           Cache.add m.cache key r;
           r
@@ -104,8 +118,11 @@ let rec apply m tag f_leaf a b =
       (* and/or/xor are commutative: canonicalize the key. *)
       let key = if ia <= ib then (tag, ia, ib) else (tag, ib, ia) in
       match Cache.find_opt m.cache key with
-      | Some r -> r
+      | Some r ->
+          Gpo_obs.Counter.incr c_apply_hit;
+          r
       | None ->
+          Gpo_obs.Counter.incr c_apply_miss;
           let v = top_var a b in
           let a0, a1 = cofactors v a and b0, b1 = cofactors v b in
           let r = mk m v (apply m tag f_leaf a0 b0) (apply m tag f_leaf a1 b1) in
@@ -154,8 +171,11 @@ let ite m i t e =
     | _ -> begin
         let key = (id i, id t, id e) in
         match Hashtbl.find_opt m.ite_cache key with
-        | Some r -> r
+        | Some r ->
+            Gpo_obs.Counter.incr c_ite_hit;
+            r
         | None ->
+            Gpo_obs.Counter.incr c_ite_miss;
             let v =
               List.fold_left
                 (fun acc n -> match n with Node x -> min acc x.var | _ -> acc)
@@ -323,6 +343,11 @@ let size t =
 
 let live_nodes m = Unique.length m.unique + 2
 let peak_nodes m = m.peak
+
+let unique_load_factor m =
+  let stats = Unique.stats m.unique in
+  float_of_int stats.Hashtbl.num_bindings
+  /. float_of_int (max 1 stats.Hashtbl.num_buckets)
 
 let clear_caches m =
   Cache.reset m.cache;

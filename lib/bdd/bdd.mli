@@ -96,5 +96,9 @@ val live_nodes : manager -> int
 val peak_nodes : manager -> int
 (** High-water mark of {!live_nodes} since the manager was created. *)
 
+val unique_load_factor : manager -> float
+(** Bindings per bucket of the unique table — reported by the symbolic
+    engine's telemetry ([bdd.unique.load_factor]). *)
+
 val clear_caches : manager -> unit
 (** Drop the operation caches (the unique table is kept). *)

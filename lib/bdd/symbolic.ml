@@ -76,9 +76,17 @@ type result = {
   time_s : float;
 }
 
+(* Telemetry: fixpoint progress and unique-table health. *)
+let c_iterations = Gpo_obs.Counter.make "smv.iterations"
+let g_peak_live = Gpo_obs.Gauge.make "smv.peak_live_nodes"
+let g_peak_set = Gpo_obs.Gauge.make "smv.peak_set_nodes"
+let g_unique_size = Gpo_obs.Gauge.make "bdd.unique.size"
+let g_unique_load = Gpo_obs.Gauge.make "bdd.unique.load_factor"
+
 let analyse ?(partitioned = true) (net : Petri.Net.t) =
   let t0 = Unix.gettimeofday () in
-  let enc = Internal.encode net in
+  Gpo_obs.Counter.touch c_iterations;
+  let enc = Gpo_obs.Span.time "smv.encode" (fun () -> Internal.encode net) in
   let m = enc.manager in
   let image =
     if partitioned then fun set -> Internal.image enc set
@@ -91,15 +99,26 @@ let analyse ?(partitioned = true) (net : Petri.Net.t) =
   let rec fixpoint reached frontier iterations =
     if Bdd.is_zero frontier then (reached, iterations)
     else begin
-      let successors = image frontier in
+      let successors = Gpo_obs.Span.time "smv.image" (fun () -> image frontier) in
       let fresh = Bdd.and_ m successors (Bdd.not_ m reached) in
       let reached = Bdd.or_ m reached fresh in
       let set_size = Bdd.size reached in
       if set_size > !peak_set then peak_set := set_size;
+      Gpo_obs.Counter.incr c_iterations;
+      Gpo_obs.Progress.sample "smv" (fun () ->
+          [
+            ("iterations", Gpo_obs.I (iterations + 1));
+            ("live_nodes", Gpo_obs.I (Bdd.live_nodes m));
+            ("set_nodes", Gpo_obs.I set_size);
+          ]);
       fixpoint reached fresh (iterations + 1)
     end
   in
   let reached, iterations = fixpoint enc.initial enc.initial 0 in
+  Gpo_obs.Gauge.set_int g_peak_live (Bdd.peak_nodes m);
+  Gpo_obs.Gauge.set_int g_peak_set !peak_set;
+  Gpo_obs.Gauge.set_int g_unique_size (Bdd.live_nodes m);
+  Gpo_obs.Gauge.set g_unique_load (Bdd.unique_load_factor m);
   let states = Bdd.sat_count m net.n_places
       (* reached ranges over current variables only; renumber them to a
          compact range for counting: current vars are exactly the even

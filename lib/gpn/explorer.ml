@@ -205,6 +205,19 @@ let apply ctx s { multiples; singles } = Dynamics.step_fire ctx ~multiples ~sing
 
 let debug = match Sys.getenv_opt "GPO_DEBUG" with Some _ -> true | None -> false
 
+(* Telemetry.  Counters mirror the result record exactly (asserted by
+   the test suite): [gpo.states] = [result.states], [gpo.restarts] =
+   [List.length result.runs - 1].  The worlds-per-state distribution
+   and the scan/fire spans only run with a sink installed — cardinal
+   and clock calls are not free, and the uninstrumented hot path must
+   stay within noise of the seed. *)
+let c_states = Gpo_obs.Counter.make "gpo.states"
+let c_edges = Gpo_obs.Counter.make "gpo.edges"
+let c_restarts = Gpo_obs.Counter.make "gpo.restarts"
+let c_witnesses = Gpo_obs.Counter.make "gpo.deadlock_witnesses"
+let c_deviations = Gpo_obs.Counter.make "gpo.deviations_scheduled"
+let d_worlds = Gpo_obs.Dist.make "gpo.worlds_per_state"
+
 let classical_successor (net : Petri.Net.t) marking t =
   Bitset.union (Bitset.diff marking net.pre.(t)) net.post.(t)
 
@@ -270,7 +283,14 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
   let witness_count = ref 0 in
   let truncated = ref false in
   let runs = ref [] in
+  Gpo_obs.Counter.touch c_states;
+  Gpo_obs.Counter.touch c_edges;
+  Gpo_obs.Counter.touch c_restarts;
+  Gpo_obs.Counter.touch c_witnesses;
   let schedule ~key root origin =
+    (match origin with
+    | Init -> ()
+    | Deviation _ -> Gpo_obs.Counter.incr c_deviations);
     if not (Marking_table.mem roots_done key) then begin
       Marking_table.add roots_done key ();
       Queue.add (root, origin) pending
@@ -279,6 +299,9 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
   schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
   while not (Queue.is_empty pending) do
     let root, origin = Queue.pop pending in
+    (match origin with
+    | Init -> ()
+    | Deviation _ -> Gpo_obs.Counter.incr c_restarts);
     let run =
       {
         root;
@@ -300,12 +323,24 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
     let current = ref (Some (run.initial, Array.make n_transitions World_set.empty)) in
     State.Table.add visited run.initial ();
     incr total_states;
+    Gpo_obs.Counter.incr c_states;
     while !current <> None do
       let s, prev_rejections =
         match !current with Some v -> v | None -> assert false
       in
       current := None;
       let en = enabling ctx s in
+      if Gpo_obs.enabled () then begin
+        Gpo_obs.Dist.observe_int d_worlds (World_set.cardinal (State.valid s));
+        Gpo_obs.Progress.sample "gpo" (fun () ->
+            [
+              ("states", Gpo_obs.I !total_states);
+              ("edges", Gpo_obs.I !edges);
+              ("runs", Gpo_obs.I (List.length !runs));
+              ("queue_depth", Gpo_obs.I (Queue.length pending));
+              ("worlds", Gpo_obs.I (World_set.cardinal (State.valid s)));
+            ])
+      end;
       if debug then
         Format.eprintf "@[<v>STATE@ %a@]@." (State.pp net) s;
       (* Deadlock worlds: valid worlds enabling nothing. *)
@@ -327,6 +362,7 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
         in
         if fresh_markings <> [] && !witness_count < max_deadlocks then begin
           incr witness_count;
+          Gpo_obs.Counter.incr c_witnesses;
           deadlocks := { run; state = s; worlds = dead; markings = fresh_markings } :: !deadlocks
         end
       end;
@@ -352,6 +388,7 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
             Hashtbl.add nf_cache v m;
             m
       in
+      let sp_scan = Gpo_obs.Span.enter "gpo.scan" in
       if scan then
         World_set.iter
           (fun v -> Marking_table.replace denoted_global (nf_denote v) ())
@@ -390,10 +427,12 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
               rejecting
           end)
         choice;
+      Gpo_obs.Span.exit sp_scan;
       (* Fire: at most one label per state.  A rejection is carried to
          the next state only for worlds that did not fire in this step:
          a world that moved has a new denotation, so its pending
          rejections must be re-scanned there. *)
+      let sp_fire = Gpo_obs.Span.enter "gpo.fire" in
       let labels, skipped =
         successor_labels reduction ctx partner_pre ~thorough ~step:!edges en
       in
@@ -422,6 +461,7 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
                  Format.pp_print_string ppf (Net'.transition_name net t))) label.singles;
           let s' = apply ctx s label in
           incr edges;
+          Gpo_obs.Counter.incr c_edges;
           if State.Table.mem visited s' then begin
             if scan then begin
             (* Cycle closure: a transition postponed on every step of
@@ -465,11 +505,13 @@ let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
               let carried = Array.map (fun ws -> World_set.diff ws moved) rejections in
               State.Table.add visited s' ();
               incr total_states;
+              Gpo_obs.Counter.incr c_states;
               State.Table.add run.predecessor s' (label, s);
               current := Some (s', carried)
             end
           end)
-        labels
+        labels;
+      Gpo_obs.Span.exit sp_fire
     done
   done;
   {

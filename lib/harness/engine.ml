@@ -23,6 +23,7 @@ let timed f =
   (r, Unix.gettimeofday () -. t0)
 
 let run ?(max_states = 5_000_000) kind net =
+  Gpo_obs.Span.time ("engine." ^ name kind) @@ fun () ->
   match kind with
   | Full ->
       let r, time_s = timed (fun () -> Petri.Reachability.explore ~max_states net) in

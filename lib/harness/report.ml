@@ -1,0 +1,77 @@
+module J = Gpo_obs.Json
+
+(* NaN/inf serialize as null via the Json printer; paper cells that the
+   paper reports as "> 24 hours" arrive here as None and also become
+   null. *)
+let num f : J.t = J.Float f
+let opt_num = function None -> J.Null | Some f -> J.Float f
+
+let json_of_outcome (o : Engine.outcome) =
+  J.Obj
+    [
+      ("engine", J.String (Engine.name o.kind));
+      ("states", num o.states);
+      ("metric", num o.metric);
+      ("deadlock", J.Bool o.deadlock);
+      ("time_s", num o.time_s);
+      ("truncated", J.Bool o.truncated);
+    ]
+
+let json_of_paper_row (p : Experiment.paper_row) =
+  J.Obj
+    [
+      ("full_states", num p.full_states);
+      ("spin_states", num p.spin_states);
+      ("spin_time", num p.spin_time);
+      ("smv_peak", opt_num p.smv_peak);
+      ("smv_time", opt_num p.smv_time);
+      ("gpo_states", num p.gpo_states);
+      ("gpo_time", num p.gpo_time);
+    ]
+
+let json_of_measurement (m : Experiment.measurement) =
+  J.Obj
+    [
+      ("family", J.String m.family_id);
+      ("size", J.Int m.size);
+      ("paper", json_of_paper_row m.paper);
+      ("outcomes", J.List (List.map json_of_outcome m.outcomes));
+    ]
+
+let json_of_table1 measurements =
+  J.Obj
+    [
+      ("table", J.String "table1");
+      ("rows", J.List (List.map json_of_measurement measurements));
+    ]
+
+let json_of_fig1 series =
+  J.Obj
+    [
+      ("figure", J.String "fig1");
+      ( "series",
+        J.List
+          (List.map
+             (fun (label, count) ->
+               J.Obj [ ("label", J.String label); ("count", J.Int count) ])
+             series) );
+    ]
+
+let json_of_fig2 series =
+  J.Obj
+    [
+      ("figure", J.String "fig2");
+      ( "series",
+        J.List
+          (List.map
+             (fun (n, full, po, gpo) ->
+               J.Obj
+                 [ ("n", J.Int n); ("full", num full); ("po", num po); ("gpo", num gpo) ])
+             series) );
+    ]
+
+let write_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> J.to_channel oc json)

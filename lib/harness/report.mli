@@ -1,0 +1,29 @@
+(** Machine-readable experiment reports.
+
+    Serializes the harness result types to {!Gpo_obs.Json} so the bench
+    writes a [BENCH_<job>.json] next to every formatted table — the
+    durable record later PRs diff their numbers against.  Non-finite
+    floats (missing paper cells) serialize as [null]. *)
+
+val json_of_outcome : Engine.outcome -> Gpo_obs.Json.t
+(** [{"engine":…,"states":…,"metric":…,"deadlock":…,"time_s":…,
+     "truncated":…}]. *)
+
+val json_of_paper_row : Experiment.paper_row -> Gpo_obs.Json.t
+(** The paper's reference numbers for one Table 1 row. *)
+
+val json_of_measurement : Experiment.measurement -> Gpo_obs.Json.t
+(** One Table 1 cell group: family, size, paper numbers and one
+    outcome per engine that ran. *)
+
+val json_of_table1 : Experiment.measurement list -> Gpo_obs.Json.t
+(** [{"table":"table1","rows":[…]}] over the whole grid. *)
+
+val json_of_fig1 : (string * int) list -> Gpo_obs.Json.t
+(** [{"figure":"fig1","series":[{"label":…,"count":…}]}]. *)
+
+val json_of_fig2 : (int * float * float * float) list -> Gpo_obs.Json.t
+(** [{"figure":"fig2","series":[{"n":…,"full":…,"po":…,"gpo":…}]}]. *)
+
+val write_file : string -> Gpo_obs.Json.t -> unit
+(** Write one JSON value (newline-terminated) to [path]. *)

@@ -1,0 +1,743 @@
+(* Global telemetry registry + pluggable event sinks.  Single-threaded
+   by design, like the engines: all state is plain mutable cells. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then begin
+          let s = Printf.sprintf "%.17g" f in
+          (* Shorter representation when it round-trips. *)
+          let short = Printf.sprintf "%g" f in
+          Buffer.add_string buf (if float_of_string short = f then short else s)
+        end
+        else Buffer.add_string buf "null"
+    | String s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\":";
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  let to_channel oc t =
+    output_string oc (to_string t);
+    output_char oc '\n'
+
+  (* Recursive-descent parser, sufficient for our own output. *)
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> begin
+            advance ();
+            (match peek () with
+            | Some '"' -> Buffer.add_char buf '"'
+            | Some '\\' -> Buffer.add_char buf '\\'
+            | Some '/' -> Buffer.add_char buf '/'
+            | Some 'n' -> Buffer.add_char buf '\n'
+            | Some 'r' -> Buffer.add_char buf '\r'
+            | Some 't' -> Buffer.add_char buf '\t'
+            | Some 'b' -> Buffer.add_char buf '\b'
+            | Some 'f' -> Buffer.add_char buf '\012'
+            | Some 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                let hex = String.sub s (!pos + 1) 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                in
+                (* Only BMP code points below 0x80 are emitted verbatim;
+                   others are kept as UTF-8 of the code point. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                pos := !pos + 4
+            | _ -> fail "bad escape");
+            advance ();
+            go ()
+          end
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (elems [])
+          end
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+type value = I of int | F of float | S of string | B of bool
+
+let json_of_value = function
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | S s -> Json.String s
+  | B b -> Json.Bool b
+
+type kind = Counter_v | Gauge_v | Dist_v | Span_v | Sample_v | Meta_v
+
+let kind_label = function
+  | Counter_v -> "counter"
+  | Gauge_v -> "gauge"
+  | Dist_v -> "dist"
+  | Span_v -> "span"
+  | Sample_v -> "sample"
+  | Meta_v -> "meta"
+
+let kind_of_label = function
+  | "counter" -> Some Counter_v
+  | "gauge" -> Some Gauge_v
+  | "dist" -> Some Dist_v
+  | "span" -> Some Span_v
+  | "sample" -> Some Sample_v
+  | "meta" -> Some Meta_v
+  | _ -> None
+
+type event = {
+  time : float;
+  kind : kind;
+  name : string;
+  fields : (string * value) list;
+}
+
+let json_of_event e =
+  Json.Obj
+    [
+      ("t", Json.Float e.time);
+      ("ev", Json.String (kind_label e.kind));
+      ("name", Json.String e.name);
+      ("fields", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) e.fields));
+    ]
+
+let event_of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let* t = field "t" in
+  let* time =
+    match t with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error "\"t\" is not a number"
+  in
+  let* ev = field "ev" in
+  let* kind =
+    match ev with
+    | Json.String s -> (
+        match kind_of_label s with
+        | Some k -> Ok k
+        | None -> Error (Printf.sprintf "unknown event kind %S" s))
+    | _ -> Error "\"ev\" is not a string"
+  in
+  let* name_j = field "name" in
+  let* name =
+    match name_j with
+    | Json.String s -> Ok s
+    | _ -> Error "\"name\" is not a string"
+  in
+  let* fields_j = field "fields" in
+  let* fields =
+    match fields_j with
+    | Json.Obj kvs ->
+        let rec convert acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, v) :: rest -> (
+              match v with
+              | Json.Int i -> convert ((k, I i) :: acc) rest
+              | Json.Float f -> convert ((k, F f) :: acc) rest
+              | Json.String s -> convert ((k, S s) :: acc) rest
+              | Json.Bool b -> convert ((k, B b) :: acc) rest
+              | _ -> Error (Printf.sprintf "field %S has a non-scalar value" k))
+        in
+        convert [] kvs
+    | _ -> Error "\"fields\" is not an object"
+  in
+  Ok { time; kind; name; fields }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let null_sink = { emit = ignore; flush = ignore }
+
+let jsonl_sink write =
+  {
+    emit = (fun e -> write (Json.to_string (json_of_event e)));
+    flush = ignore;
+  }
+
+let jsonl_channel_sink oc =
+  {
+    emit = (fun e -> Json.to_channel oc (json_of_event e));
+    flush = (fun () -> flush oc);
+  }
+
+let memory_sink () =
+  let events = ref [] in
+  ( { emit = (fun e -> events := e :: !events); flush = ignore },
+    fun () -> List.rev !events )
+
+(* ------------------------------------------------------------------ *)
+(* Global sink state                                                   *)
+
+let current_sink : sink option ref = ref None
+let epoch = ref 0.0
+
+let install sink =
+  current_sink := Some sink;
+  epoch := Unix.gettimeofday ()
+
+let uninstall () =
+  (match !current_sink with Some s -> s.flush () | None -> ());
+  current_sink := None
+
+let enabled () = !current_sink <> None
+
+let emit kind name fields =
+  match !current_sink with
+  | None -> ()
+  | Some sink ->
+      sink.emit { time = Unix.gettimeofday () -. !epoch; kind; name; fields }
+
+let meta name fields = emit Meta_v name fields
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type counter_cell = { c_name : string; mutable c_value : int; mutable c_touched : bool }
+type gauge_cell = { g_name : string; mutable g_value : float; mutable g_touched : bool }
+
+type dist_cell = {
+  d_name : string;
+  mutable d_count : int;
+  mutable d_sum : float;
+  mutable d_min : float;
+  mutable d_max : float;
+}
+
+type span_cell = { mutable sp_count : int; mutable sp_total : float }
+
+let counters : (string, counter_cell) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge_cell) Hashtbl.t = Hashtbl.create 16
+let dists : (string, dist_cell) Hashtbl.t = Hashtbl.create 16
+let span_totals : (string, span_cell) Hashtbl.t = Hashtbl.create 16
+
+module Counter = struct
+  type t = counter_cell
+
+  let make name =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0; c_touched = false } in
+        Hashtbl.add counters name c;
+        c
+
+  let incr c =
+    c.c_value <- c.c_value + 1;
+    c.c_touched <- true
+
+  let add c n =
+    c.c_value <- c.c_value + n;
+    c.c_touched <- true
+
+  let touch c = c.c_touched <- true
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge_cell
+
+  let make name =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; g_value = 0.0; g_touched = false } in
+        Hashtbl.add gauges name g;
+        g
+
+  let set g v =
+    g.g_value <- v;
+    g.g_touched <- true
+
+  let set_int g v = set g (float_of_int v)
+  let value g = g.g_value
+end
+
+module Dist = struct
+  type t = dist_cell
+
+  let make name =
+    match Hashtbl.find_opt dists name with
+    | Some d -> d
+    | None ->
+        let d = { d_name = name; d_count = 0; d_sum = 0.0; d_min = infinity; d_max = neg_infinity } in
+        Hashtbl.add dists name d;
+        d
+
+  let observe d v =
+    d.d_count <- d.d_count + 1;
+    d.d_sum <- d.d_sum +. v;
+    if v < d.d_min then d.d_min <- v;
+    if v > d.d_max then d.d_max <- v
+
+  let observe_int d v = observe d (float_of_int v)
+  let count d = d.d_count
+  let mean d = if d.d_count = 0 then Float.nan else d.d_sum /. float_of_int d.d_count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let span_stack : string list ref = ref []
+
+let span_path name =
+  match !span_stack with
+  | [] -> name
+  | stack -> String.concat "/" (List.rev (name :: stack))
+
+module Span = struct
+  (* Start time; nan = entered while disabled, exit is a no-op.  The
+     scope stack is only touched when enabled, so a span entered while
+     disabled nests transparently. *)
+  type t = float
+
+  let enter name : t =
+    if !current_sink = None then Float.nan
+    else begin
+      let path = span_path name in
+      span_stack := name :: !span_stack;
+      emit Span_v path [ ("phase", S "begin") ];
+      Unix.gettimeofday ()
+    end
+
+  let exit (t0 : t) =
+    if not (Float.is_nan t0) then begin
+      let name = match !span_stack with n :: rest -> span_stack := rest; n | [] -> "?" in
+      let path = span_path name in
+      let dur = Unix.gettimeofday () -. t0 in
+      let cell =
+        match Hashtbl.find_opt span_totals path with
+        | Some c -> c
+        | None ->
+            let c = { sp_count = 0; sp_total = 0.0 } in
+            Hashtbl.add span_totals path c;
+            c
+      in
+      cell.sp_count <- cell.sp_count + 1;
+      cell.sp_total <- cell.sp_total +. dur;
+      emit Span_v path [ ("phase", S "end"); ("dur_s", F dur) ]
+    end
+
+  let time name f =
+    let t0 = enter name in
+    match f () with
+    | v ->
+        exit t0;
+        v
+    | exception e ->
+        exit t0;
+        raise e
+end
+
+(* ------------------------------------------------------------------ *)
+(* Progress sampling / heartbeat                                       *)
+
+module Progress = struct
+  let heartbeat : (string -> unit) option ref = ref None
+  let interval = ref 0.5
+
+  (* Per-name rate limiter and states/sec derivation. *)
+  let last : (string, float * int option) Hashtbl.t = Hashtbl.create 8
+
+  let set_heartbeat h = heartbeat := h
+  let set_interval s = interval := s
+
+  let render name fields =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf
+          (match v with
+          | I i -> string_of_int i
+          | F f -> Printf.sprintf "%.4g" f
+          | S s -> s
+          | B b -> string_of_bool b))
+      fields;
+    Buffer.contents buf
+
+  let sample name thunk =
+    if !current_sink <> None || !heartbeat <> None then begin
+      let now = Unix.gettimeofday () in
+      let prev = Hashtbl.find_opt last name in
+      let due =
+        match prev with
+        | None -> true
+        | Some (t_prev, _) -> now -. t_prev >= !interval
+      in
+      if due then begin
+        let fields = thunk () in
+        let states_now =
+          match List.assoc_opt "states" fields with Some (I s) -> Some s | _ -> None
+        in
+        let fields =
+          match (prev, states_now) with
+          | Some (t_prev, Some s_prev), Some s_now when now > t_prev ->
+              fields
+              @ [ ("states_per_s", F (float_of_int (s_now - s_prev) /. (now -. t_prev))) ]
+          | _ -> fields
+        in
+        Hashtbl.replace last name (now, states_now);
+        emit Sample_v name fields;
+        match !heartbeat with
+        | Some print -> print (render name fields)
+        | None -> ()
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / reset / summary                                          *)
+
+type dist_stats = { count : int; sum : float; min : float; max : float }
+type span_stats = { count : int; total_s : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  dists : (string * dist_stats) list;
+  spans : (string * span_stats) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  let counters =
+    Hashtbl.fold
+      (fun name c acc -> if c.c_touched then (name, c.c_value) :: acc else acc)
+      counters []
+    |> List.sort by_name
+  in
+  let gauges =
+    Hashtbl.fold
+      (fun name g acc -> if g.g_touched then (name, g.g_value) :: acc else acc)
+      gauges []
+    |> List.sort by_name
+  in
+  let dists =
+    Hashtbl.fold
+      (fun name d acc ->
+        if d.d_count > 0 then
+          (name, { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max })
+          :: acc
+        else acc)
+      dists []
+    |> List.sort by_name
+  in
+  let spans =
+    Hashtbl.fold
+      (fun path c acc ->
+        if c.sp_count > 0 then (path, { count = c.sp_count; total_s = c.sp_total }) :: acc
+        else acc)
+      span_totals []
+    |> List.sort by_name
+  in
+  { counters; gauges; dists; spans }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ c ->
+      c.c_value <- 0;
+      c.c_touched <- false)
+    counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0.0;
+      g.g_touched <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ d ->
+      d.d_count <- 0;
+      d.d_sum <- 0.0;
+      d.d_min <- infinity;
+      d.d_max <- neg_infinity)
+    dists;
+  Hashtbl.reset span_totals;
+  Hashtbl.reset Progress.last;
+  span_stack := []
+
+let pp_summary ppf snap =
+  let open Format in
+  fprintf ppf "@[<v>-- stats ----------------------------------------------------@ ";
+  if snap.counters <> [] then begin
+    fprintf ppf "counters:@ ";
+    List.iter (fun (n, v) -> fprintf ppf "  %-36s %12d@ " n v) snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    fprintf ppf "gauges:@ ";
+    List.iter (fun (n, v) -> fprintf ppf "  %-36s %12.4g@ " n v) snap.gauges
+  end;
+  if snap.dists <> [] then begin
+    fprintf ppf "distributions:%31s%9s%9s%9s@ " "count" "min" "mean" "max";
+    List.iter
+      (fun (n, (d : dist_stats)) ->
+        fprintf ppf "  %-36s %7d %8.4g %8.4g %8.4g@ " n d.count d.min
+          (d.sum /. float_of_int d.count)
+          d.max)
+      snap.dists
+  end;
+  if snap.spans <> [] then begin
+    fprintf ppf "spans:%39s%15s@ " "count" "total";
+    List.iter
+      (fun (n, s) -> fprintf ppf "  %-36s %7d %13.6fs@ " n s.count s.total_s)
+      snap.spans
+  end;
+  if snap.counters = [] && snap.gauges = [] && snap.dists = [] && snap.spans = []
+  then fprintf ppf "(no metrics recorded)@ ";
+  fprintf ppf "-------------------------------------------------------------@]"
+
+let json_of_snapshot snap =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) snap.gauges));
+      ( "dists",
+        Json.Obj
+          (List.map
+             (fun (n, (d : dist_stats)) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("count", Json.Int d.count);
+                     ("sum", Json.Float d.sum);
+                     ("min", Json.Float d.min);
+                     ("max", Json.Float d.max);
+                   ] ))
+             snap.dists) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (n, s) ->
+               ( n,
+                 Json.Obj
+                   [ ("count", Json.Int s.count); ("total_s", Json.Float s.total_s) ] ))
+             snap.spans) );
+    ]
+
+let emit_snapshot () =
+  if enabled () then begin
+    let snap = snapshot () in
+    List.iter (fun (n, v) -> emit Counter_v n [ ("value", I v) ]) snap.counters;
+    List.iter (fun (n, v) -> emit Gauge_v n [ ("value", F v) ]) snap.gauges;
+    List.iter
+      (fun (n, (d : dist_stats)) ->
+        emit Dist_v n
+          [
+            ("count", I d.count);
+            ("sum", F d.sum);
+            ("min", F d.min);
+            ("max", F d.max);
+            ("mean", F (d.sum /. float_of_int d.count));
+          ])
+      snap.dists;
+    List.iter
+      (fun (n, (s : span_stats)) ->
+        emit Span_v n [ ("phase", S "total"); ("count", I s.count); ("total_s", F s.total_s) ])
+      snap.spans
+  end
+
+let with_sink sink f =
+  install sink;
+  reset ();
+  match f () with
+  | v ->
+      emit_snapshot ();
+      uninstall ();
+      v
+  | exception e ->
+      emit_snapshot ();
+      uninstall ();
+      raise e

@@ -1,0 +1,214 @@
+(** Unified telemetry for the verification engines.
+
+    Every engine reports to the same global registry of named
+    {e counters} (monotonic), {e gauges} (last value wins),
+    {e distributions} (count/min/mean/max summaries) and {e spans}
+    (timed, nested scopes).  Telemetry has two halves:
+
+    - {b Aggregates} (counters, gauges, distributions, span totals)
+      accumulate in the registry whenever instrumented code runs; they
+      cost an unconditional integer update per hit.  {!reset} zeroes
+      them, {!snapshot} reads them out, {!pp_summary} renders the
+      human [--stats] block.
+    - {b Events} (span begin/end, periodic progress samples, metadata,
+      final totals) stream to the installed {!type-sink}.  With no sink
+      installed ({!enabled}[ () = false]) the event half is off: spans
+      cost one branch, samples cost one branch, nothing allocates —
+      the overhead budget checked by the micro-bench.
+
+    Sinks are pluggable: {!null_sink} drops every event (for overhead
+    measurements with the event half on), {!jsonl_sink} writes one
+    JSON object per line for offline analysis, {!memory_sink} retains
+    events for tests.  The registry is global and single-threaded, like
+    the engines themselves: callers delimit a measurement with
+    {!reset}/{!snapshot} (or {!with_sink}). *)
+
+(** Minimal JSON values: the wire format of the JSONL sink and of the
+    machine-readable bench reports ([BENCH_*.json]).  Self-contained so
+    the toolkit needs no external JSON dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact single-line rendering.  Non-finite floats render as
+      [null] (JSON has no representation for them). *)
+
+  val to_channel : out_channel -> t -> unit
+  (** [to_string] followed by a newline — one JSONL record. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one JSON value; [Error msg] names the first offence. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+type value = I of int | F of float | S of string | B of bool
+(** Telemetry field values. *)
+
+val json_of_value : value -> Json.t
+
+type kind = Counter_v | Gauge_v | Dist_v | Span_v | Sample_v | Meta_v
+(** Event kinds, one per record type of the JSONL schema. *)
+
+type event = {
+  time : float;  (** Seconds since the sink was installed. *)
+  kind : kind;
+  name : string;  (** Metric name, or span path like ["a/b"]. *)
+  fields : (string * value) list;
+}
+
+val json_of_event : event -> Json.t
+(** The JSONL schema: [{"t":…,"ev":"counter"|…,"name":…,"fields":{…}}]. *)
+
+val event_of_json : Json.t -> (event, string) result
+(** Inverse of {!json_of_event} (used by the round-trip tests and the
+    CI smoke check). *)
+
+type sink = {
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+val null_sink : sink
+(** Accepts and drops every event. *)
+
+val jsonl_sink : (string -> unit) -> sink
+(** [jsonl_sink write] renders each event with {!json_of_event} and
+    passes the line (no trailing newline) to [write]. *)
+
+val jsonl_channel_sink : out_channel -> sink
+(** {!jsonl_sink} writing newline-terminated lines to a channel;
+    [flush] flushes the channel. *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+(** A sink retaining events in memory, with a reader returning them in
+    emission order. *)
+
+val install : sink -> unit
+(** Make [sink] the destination of the event half (replacing any
+    previous sink) and restart the event clock. *)
+
+val uninstall : unit -> unit
+(** Flush and remove the installed sink, if any. *)
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed. *)
+
+val emit : kind -> string -> (string * value) list -> unit
+(** Emit one event to the installed sink; no-op when disabled. *)
+
+val meta : string -> (string * value) list -> unit
+(** [emit Meta_v]: tag the trace with run metadata (net, engine, …). *)
+
+(** Named monotonic counters. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Intern the counter named [name] (idempotent: the same name yields
+      the same cell).  Typically called once at module initialisation. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val touch : t -> unit
+  (** Mark the counter active so it appears in the next {!snapshot}
+      even at zero — engines touch their counters on entry so a stats
+      block always shows the full set (e.g. [gpo.restarts 0]). *)
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Named gauges: last value wins. *)
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+  val set_int : t -> int -> unit
+  val value : t -> float
+end
+
+(** Named distributions: count / sum / min / mean / max summaries
+    (e.g. stubborn-set sizes, worlds per state). *)
+module Dist : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+  val count : t -> int
+  val mean : t -> float
+end
+
+(** Timed spans with nested scopes.  Nesting is tracked by a scope
+    stack: a span entered while ["a"] is open aggregates under the path
+    ["a/b"].  Aggregation and events only happen when {!enabled}; the
+    disabled cost is one branch per [enter]/[exit]. *)
+module Span : sig
+  type t
+
+  val enter : string -> t
+  val exit : t -> unit
+  (** [exit] must be called in LIFO order with [enter]. *)
+
+  val time : string -> (unit -> 'a) -> 'a
+  (** [time name f] = [enter]; [f ()]; [exit] (exception-safe). *)
+end
+
+(** Periodic progress sampling, rate-limited per metric name.  Samples
+    go to the sink as [Sample_v] events and, when a heartbeat printer
+    is set, to it as a rendered one-line string (the CLI's stderr
+    progress line for long runs).  When a sampled field is named
+    ["states"], a derived ["states_per_s"] rate field is appended. *)
+module Progress : sig
+  val sample : string -> (unit -> (string * value) list) -> unit
+  (** No-op unless a sink is installed or a heartbeat printer is set;
+      otherwise evaluates the thunk at most once per {!set_interval}
+      seconds per name. *)
+
+  val set_heartbeat : (string -> unit) option -> unit
+  (** Install (or remove) the heartbeat line printer. *)
+
+  val set_interval : float -> unit
+  (** Minimum seconds between samples of the same name (default 0.5). *)
+end
+
+type dist_stats = { count : int; sum : float; min : float; max : float }
+type span_stats = { count : int; total_s : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  dists : (string * dist_stats) list;
+  spans : (string * span_stats) list;
+}
+(** Aggregate totals since the last {!reset}, each section sorted by
+    name.  Only metrics touched since the reset are included. *)
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** The human [--stats] block. *)
+
+val json_of_snapshot : snapshot -> Json.t
+
+val emit_snapshot : unit -> unit
+(** Stream the current snapshot to the sink as one event per metric
+    ([Counter_v]/[Gauge_v]/[Dist_v]/[Span_v] records with final
+    totals); no-op when disabled. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f]: {!install}[ s]; {!reset}; run [f]; stream the
+    final snapshot with {!emit_snapshot}; {!uninstall} (also on
+    exceptions); return [f ()]'s result. *)

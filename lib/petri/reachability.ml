@@ -7,6 +7,13 @@ end)
 
 type strategy = Net.t -> Bitset.t -> Net.transition list
 
+(* Telemetry: shared by the conventional and stubborn-set engines (the
+   strategy is the only difference between them). *)
+let c_states = Gpo_obs.Counter.make "reach.states"
+let c_edges = Gpo_obs.Counter.make "reach.edges"
+let c_dedup_hits = Gpo_obs.Counter.make "reach.dedup_hits"
+let c_deadlocks = Gpo_obs.Counter.make "reach.deadlocks"
+
 type result = {
   net : Net.t;
   states : int;
@@ -32,23 +39,44 @@ let explore ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
   let unsafe = ref [] in
   let unsafe_count = ref 0 in
   let truncated = ref false in
-  let enqueue m = Marking_table.add visited m (); Queue.add m queue in
+  Gpo_obs.Counter.touch c_states;
+  Gpo_obs.Counter.touch c_edges;
+  Gpo_obs.Counter.touch c_dedup_hits;
+  let enqueue m =
+    Marking_table.add visited m ();
+    Gpo_obs.Counter.incr c_states;
+    Queue.add m queue
+  in
   enqueue net.initial;
   while not (Queue.is_empty queue) do
     let m = Queue.pop queue in
+    Gpo_obs.Progress.sample "reach" (fun () ->
+        let stats = Marking_table.stats visited in
+        [
+          ("states", Gpo_obs.I (Marking_table.length visited));
+          ("frontier", Gpo_obs.I (Queue.length queue));
+          ("edges", Gpo_obs.I !edges);
+          ( "table_load",
+            Gpo_obs.F
+              (float_of_int stats.Hashtbl.num_bindings
+              /. float_of_int (max 1 stats.Hashtbl.num_buckets)) );
+        ]);
     let to_fire = strategy net m in
     if Semantics.is_deadlock net m then begin
       incr deadlock_count;
+      Gpo_obs.Counter.incr c_deadlocks;
       if !deadlock_count <= max_deadlocks then deadlocks := m :: !deadlocks
     end;
     let fire t =
       let m', safe = Semantics.fire net t m in
       incr edges;
+      Gpo_obs.Counter.incr c_edges;
       if not safe then begin
         incr unsafe_count;
         if !unsafe_count <= max_deadlocks then unsafe := (t, m) :: !unsafe
       end;
-      if not (Marking_table.mem visited m') then
+      if Marking_table.mem visited m' then Gpo_obs.Counter.incr c_dedup_hits
+      else
         if Marking_table.length visited >= max_states then truncated := true
         else begin
           enqueue m';

@@ -1,5 +1,11 @@
 type heuristic = First_seed | Smallest
 
+(* Telemetry: size of the stubborn set actually fired at each marking
+   (the quality measure of the reduction — smaller is better), and how
+   many closure computations the Smallest heuristic pays for it. *)
+let d_set_size = Gpo_obs.Dist.make "stubborn.set_size"
+let c_closures = Gpo_obs.Counter.make "stubborn.closures"
+
 (* Closure of the stubborn-set conditions from a seed transition.
    Returns the enabled members of the resulting stubborn set. *)
 let closure conflict m seed =
@@ -50,24 +56,31 @@ let closure conflict m seed =
 let compute conflict heuristic m =
   let net = Conflict.net conflict in
   let enabled = Semantics.enabled_set net m in
-  if Bitset.is_empty enabled then []
-  else
-    match heuristic with
-    | First_seed -> fst (closure conflict m (Bitset.choose enabled))
-    | Smallest ->
-        let best = ref [] in
-        let best_size = ref max_int in
-        Bitset.iter
-          (fun seed ->
-            if !best_size > 1 then begin
-              let members, size = closure conflict m seed in
-              if size < !best_size then begin
-                best := members;
-                best_size := size
-              end
-            end)
-          enabled;
-        !best
+  let chosen =
+    if Bitset.is_empty enabled then []
+    else
+      match heuristic with
+      | First_seed ->
+          Gpo_obs.Counter.incr c_closures;
+          fst (closure conflict m (Bitset.choose enabled))
+      | Smallest ->
+          let best = ref [] in
+          let best_size = ref max_int in
+          Bitset.iter
+            (fun seed ->
+              if !best_size > 1 then begin
+                Gpo_obs.Counter.incr c_closures;
+                let members, size = closure conflict m seed in
+                if size < !best_size then begin
+                  best := members;
+                  best_size := size
+                end
+              end)
+            enabled;
+          !best
+  in
+  if chosen <> [] then Gpo_obs.Dist.observe_int d_set_size (List.length chosen);
+  chosen
 
 let strategy ?(heuristic = Smallest) conflict : Reachability.strategy =
  fun _net m -> compute conflict heuristic m

@@ -22,4 +22,5 @@ let () =
       ("models", Test_models.suite);
       ("harness", Test_harness.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]

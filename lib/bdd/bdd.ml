@@ -35,8 +35,19 @@ type manager = {
   mutable next_id : int;
   mutable peak : int;
   cache : t Cache.t;  (* binary ops and not *)
-  ite_cache : (int * int * int, t) Hashtbl.t;
+  ite_cache : (int, t) Hashtbl.t;  (* key: three node ids packed into one int *)
 }
+
+(* The ite cache key packs (id i, id t, id e) into a single immediate
+   int — 21 bits per id — so probing neither allocates a tuple nor
+   chases three boxed fields per comparison.  Node ids are dense from 0,
+   so the guard only trips past two million live-or-dead nodes; beyond
+   that [ite] still computes correctly, just without memoization. *)
+let ite_pack_bits = 21
+let ite_pack_limit = 1 lsl ite_pack_bits
+
+let ite_pack i t e =
+  (((i lsl ite_pack_bits) lor t) lsl ite_pack_bits) lor e
 
 let manager () =
   {
@@ -169,8 +180,9 @@ let ite m i t e =
     | _ when t == e -> t
     | _ when is_one t && is_zero e -> i
     | _ -> begin
-        let key = (id i, id t, id e) in
-        match Hashtbl.find_opt m.ite_cache key with
+        let cacheable = m.next_id < ite_pack_limit in
+        let key = if cacheable then ite_pack (id i) (id t) (id e) else 0 in
+        match if cacheable then Hashtbl.find_opt m.ite_cache key else None with
         | Some r ->
             Gpo_obs.Counter.incr c_ite_hit;
             r
@@ -185,7 +197,7 @@ let ite m i t e =
             let t0, t1 = cofactors v t in
             let e0, e1 = cofactors v e in
             let r = mk m v (go i0 t0 e0) (go i1 t1 e1) in
-            Hashtbl.add m.ite_cache key r;
+            if cacheable then Hashtbl.add m.ite_cache key r;
             r
       end
   in

@@ -1,0 +1,1050 @@
+(* The GPN engine, functorized over the world-set representation.
+
+   Everything that used to live in [state.ml]/[dynamics.ml]/[explorer.ml]
+   now lives in [Make] below, parameterized by a [World_set_intf.S]
+   implementation.  The two instantiations at the bottom of this file —
+   [Hashconsed] over the hash-consed {!World_set} and [Tree] over the
+   retained {!World_set_tree} — are what the ablation bench and the
+   representation-equivalence test suite run head-to-head.  The
+   top-level [State]/[Dynamics]/[Explorer] modules of this library are
+   [include]s of the [Hashconsed] instance, so every existing consumer
+   keeps compiling against the default representation.
+
+   To make the two instances bit-identical in their results (states,
+   edges, deadlock witnesses), the explorer must not depend on the
+   iteration order of world sets, which differs between representations
+   (Patricia tries iterate in interning order, balanced trees in
+   [Bitset.compare] order).  The only order-sensitive construct was the
+   deviation restart queue; deviations are therefore collected per
+   state and sorted by (normal-form key, root marking, transition)
+   before being scheduled, and witness marking lists are sorted.  This
+   also makes any single representation deterministic run-to-run. *)
+
+module Make (W : World_set_intf.S) = struct
+  module Bitset = Petri.Bitset
+
+  (* ---------------------------------------------------------------- *)
+  (* States (Definition 3.1): the pair ⟨m, r⟩ of per-place world sets
+     and the valid-world set.  Invariant: m(p) ⊆ r for every place.    *)
+
+  module State = struct
+    type t = { m : W.t array; r : W.t }
+
+    let make m r = { m = Array.map (fun ws -> W.inter ws r) m; r }
+
+    let marking s p = s.m.(p)
+    let valid s = s.r
+
+    (* With the hash-consed representation both of these degenerate to
+       pointer comparisons / stored-id reads per component. *)
+    let equal a b =
+      W.equal a.r b.r
+      && Array.length a.m = Array.length b.m
+      && Array.for_all2 W.equal a.m b.m
+
+    let compare a b =
+      let c = W.compare a.r b.r in
+      if c <> 0 then c
+      else begin
+        let n = Array.length a.m and n' = Array.length b.m in
+        let c = Int.compare n n' in
+        if c <> 0 then c
+        else begin
+          let rec loop i =
+            if i >= n then 0
+            else begin
+              let c = W.compare a.m.(i) b.m.(i) in
+              if c <> 0 then c else loop (i + 1)
+            end
+          in
+          loop 0
+        end
+      end
+
+    let hash s =
+      Array.fold_left (fun acc ws -> (acc * 486187739) + W.hash ws) (W.hash s.r) s.m
+
+    let denoted_marking s v =
+      let n_places = Array.length s.m in
+      let rec loop p acc =
+        if p < 0 then acc
+        else loop (p - 1) (if W.mem v s.m.(p) then Bitset.add p acc else acc)
+      in
+      loop (n_places - 1) (Bitset.empty n_places)
+
+    let mapping s =
+      W.fold
+        (fun v acc ->
+          let m = denoted_marking s v in
+          if List.exists (Bitset.equal m) acc then acc else m :: acc)
+        s.r []
+      |> List.sort Bitset.compare
+
+    let pp (net : Petri.Net.t) ppf s =
+      let name = Petri.Net.transition_name net in
+      Format.fprintf ppf "@[<v>";
+      Array.iteri
+        (fun p ws ->
+          if not (W.is_empty ws) then
+            Format.fprintf ppf "%s: %a@ " (Petri.Net.place_name net p)
+              (W.pp ~name ()) ws)
+        s.m;
+      Format.fprintf ppf "r: %a@]" (W.pp ~name ()) s.r
+
+    module Table = Hashtbl.Make (struct
+      type nonrec t = t
+
+      let equal = equal
+      let hash = hash
+    end)
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* Dynamics (Section 3.2): enabling and firing rules.                *)
+
+  module Dynamics = struct
+    (* Bounded memo for [s_enabled], keyed on the transition and the
+       markings of its input places.  Only worth probing when the
+       representation makes whole world sets cheap to hash and compare
+       (hash-consed: a few stored-id reads); the tree baseline computes
+       directly so the ablation measures it unpolluted. *)
+    module Senab_tbl = Hashtbl.Make (struct
+      type t = int * W.t list
+
+      let equal (t1, l1) (t2, l2) = t1 = t2 && List.equal W.equal l1 l2
+
+      let hash (t, l) =
+        List.fold_left (fun h w -> (h * 486187739) + W.hash w) t l land max_int
+    end)
+
+    let senab_bound = 1 lsl 16
+    let c_senab_hit = Gpo_obs.Counter.make "gpn.senab.cache_hit"
+    let c_senab_miss = Gpo_obs.Counter.make "gpn.senab.cache_miss"
+
+    type ctx = {
+      net : Petri.Net.t;
+      conflict : Petri.Conflict.t;
+      choice : Bitset.t;
+      alternatives : Bitset.t list list;
+          (* per choice cluster: its maximal independent sets *)
+      initial : State.t;
+      senab : W.t Senab_tbl.t;
+    }
+
+    let net ctx = ctx.net
+    let conflict ctx = ctx.conflict
+    let choice_transitions ctx = ctx.choice
+    let cluster_alternatives ctx = ctx.alternatives
+    let initial ctx = ctx.initial
+
+    (* Maximal independent sets of the conflict relation restricted to a
+       cluster, by Bron-Kerbosch on the independence ("non-conflict")
+       adjacency.  Clusters are small in practice (a handful of
+       transitions competing for shared places), and cliques — the worst
+       case for state count — are the best case here (each MIS is a
+       singleton). *)
+    let maximal_independent_sets conflict members =
+      let width = Bitset.width members in
+      let independent v =
+        Bitset.diff (Bitset.remove v members) (Petri.Conflict.conflicting conflict v)
+      in
+      let results = ref [] in
+      let rec bron_kerbosch r p x =
+        if Bitset.is_empty p && Bitset.is_empty x then results := r :: !results
+        else begin
+          let p = ref p and x = ref x in
+          Bitset.iter
+            (fun v ->
+              if Bitset.mem v !p then begin
+                let n = independent v in
+                bron_kerbosch (Bitset.add v r) (Bitset.inter !p n) (Bitset.inter !x n);
+                p := Bitset.remove v !p;
+                x := Bitset.add v !x
+              end)
+            members
+        end
+      in
+      bron_kerbosch (Bitset.empty width) members (Bitset.empty width);
+      !results
+
+    let make ?conflict (net : Petri.Net.t) =
+      let conflict =
+        match conflict with Some c -> c | None -> Petri.Conflict.analyse net
+      in
+      let n = net.n_transitions in
+      let choice = ref (Bitset.empty n) in
+      let alternatives = ref [] in
+      Array.iter
+        (fun members ->
+          if Bitset.cardinal members >= 2 then begin
+            choice := Bitset.union !choice members;
+            alternatives := maximal_independent_sets conflict members :: !alternatives
+          end)
+        (Petri.Conflict.clusters conflict);
+      let alternatives = List.rev !alternatives in
+      let r0 = W.product n (List.map W.of_list alternatives) in
+      let m0 =
+        Array.init net.n_places (fun p ->
+            if Bitset.mem p net.initial then r0 else W.empty)
+      in
+      {
+        net;
+        conflict;
+        choice = !choice;
+        alternatives;
+        initial = State.make m0 r0;
+        senab = Senab_tbl.create 1024;
+      }
+
+    let initial_of_marking ctx marking =
+      let r0 = State.valid ctx.initial in
+      let m =
+        Array.init ctx.net.n_places (fun p ->
+            if Bitset.mem p marking then r0 else W.empty)
+      in
+      State.make m r0
+
+    let s_enabled_direct pre (s : State.t) =
+      let acc = ref (State.marking s pre.(0)) in
+      for i = 1 to Array.length pre - 1 do
+        acc := W.inter !acc (State.marking s pre.(i))
+      done;
+      !acc
+
+    let s_enabled ctx t (s : State.t) =
+      let pre = ctx.net.pre_list.(t) in
+      match Array.length pre with
+      | 0 -> State.valid s
+      | 1 -> State.marking s pre.(0)
+      | _ when not W.fast_identity -> s_enabled_direct pre s
+      | _ -> begin
+          let key = (t, Array.fold_right (fun p acc -> State.marking s p :: acc) pre []) in
+          match Senab_tbl.find_opt ctx.senab key with
+          | Some r ->
+              Gpo_obs.Counter.incr c_senab_hit;
+              r
+          | None ->
+              Gpo_obs.Counter.incr c_senab_miss;
+              let r = s_enabled_direct pre s in
+              if Senab_tbl.length ctx.senab >= senab_bound then
+                Senab_tbl.reset ctx.senab;
+              Senab_tbl.add ctx.senab key r;
+              r
+        end
+
+    let enabled_transitions ctx s =
+      let rec loop t acc =
+        if t < 0 then acc
+        else begin
+          let acc =
+            if W.is_empty (s_enabled ctx t s) then acc else Bitset.add t acc
+          in
+          loop (t - 1) acc
+        end
+      in
+      loop (ctx.net.n_transitions - 1) (Bitset.empty ctx.net.n_transitions)
+
+    let m_enabled ctx t s =
+      if Bitset.mem t ctx.choice then W.filter_member t (s_enabled ctx t s)
+      else W.empty
+
+    let single_fire ctx t (s : State.t) =
+      let history = s_enabled ctx t s in
+      assert (not (W.is_empty history));
+      let pre = ctx.net.pre.(t) and post = ctx.net.post.(t) in
+      let m =
+        Array.mapi
+          (fun p ws ->
+            let in_pre = Bitset.mem p pre and in_post = Bitset.mem p post in
+            if in_pre && not in_post then W.diff ws history
+            else if in_post && not in_pre then W.union ws history
+            else ws)
+          (Array.init (Array.length ctx.net.place_names) (State.marking s))
+      in
+      State.make m (State.valid s)
+
+    let batch_single_fire ctx ts (s : State.t) =
+      let histories =
+        List.map
+          (fun t ->
+            let h = s_enabled ctx t s in
+            assert (not (W.is_empty h));
+            (t, h))
+          ts
+      in
+      let n_places = ctx.net.n_places in
+      let removed = Array.make n_places W.empty in
+      let added = Array.make n_places W.empty in
+      List.iter
+        (fun (t, h) ->
+          let pre = ctx.net.pre.(t) and post = ctx.net.post.(t) in
+          Array.iter
+            (fun p ->
+              if not (Bitset.mem p post) then removed.(p) <- W.union removed.(p) h)
+            ctx.net.pre_list.(t);
+          Array.iter
+            (fun p ->
+              if not (Bitset.mem p pre) then added.(p) <- W.union added.(p) h)
+            ctx.net.post_list.(t))
+        histories;
+      let m =
+        Array.init n_places (fun p ->
+            W.union (W.diff (State.marking s p) removed.(p)) added.(p))
+      in
+      State.make m (State.valid s)
+
+    let multiple_fire ctx fired (s : State.t) =
+      let n_places = ctx.net.n_places in
+      let histories =
+        (* m_enabled per fired transition, computed once. *)
+        let table = Hashtbl.create 16 in
+        Bitset.iter
+          (fun t ->
+            let h = m_enabled ctx t s in
+            assert (not (W.is_empty h));
+            Hashtbl.add table t h)
+          fired;
+        table
+      in
+      (* r' keeps the worlds that chose a fired transition, plus the
+         worlds still single-enabling some unfired transition
+         (Definition 3.6). *)
+      let r' = ref W.empty in
+      for t = 0 to ctx.net.n_transitions - 1 do
+        if Bitset.mem t fired then r' := W.union !r' (Hashtbl.find histories t)
+        else r' := W.union !r' (s_enabled ctx t s)
+      done;
+      let r' = !r' in
+      let removed = Array.make n_places W.empty in
+      let added = Array.make n_places W.empty in
+      Bitset.iter
+        (fun t ->
+          let h = Hashtbl.find histories t in
+          Array.iter
+            (fun p -> removed.(p) <- W.union removed.(p) h)
+            ctx.net.pre_list.(t);
+          Array.iter
+            (fun p -> added.(p) <- W.union added.(p) h)
+            ctx.net.post_list.(t))
+        fired;
+      let m =
+        Array.init n_places (fun p ->
+            W.union (W.diff (State.marking s p) removed.(p)) added.(p))
+      in
+      (* State.make intersects every place with r'. *)
+      State.make m r'
+
+    let step_fire ctx ~multiples ~singles (s : State.t) =
+      let n_places = ctx.net.n_places in
+      let histories = Hashtbl.create 16 in
+      Bitset.iter
+        (fun t ->
+          let h = m_enabled ctx t s in
+          assert (not (W.is_empty h));
+          Hashtbl.add histories t h)
+        multiples;
+      List.iter
+        (fun t ->
+          let h = s_enabled ctx t s in
+          assert (not (W.is_empty h));
+          Hashtbl.add histories t h)
+        singles;
+      (* Definition 3.6 with T' = multiples: worlds that chose and fired
+         a multiple, or that still single-enable any transition outside
+         T' (including the fired singles). *)
+      let r' = ref W.empty in
+      for t = 0 to ctx.net.n_transitions - 1 do
+        if Bitset.mem t multiples then r' := W.union !r' (Hashtbl.find histories t)
+        else r' := W.union !r' (s_enabled ctx t s)
+      done;
+      let removed = Array.make n_places W.empty in
+      let added = Array.make n_places W.empty in
+      let move t h =
+        Array.iter (fun p -> removed.(p) <- W.union removed.(p) h) ctx.net.pre_list.(t);
+        Array.iter (fun p -> added.(p) <- W.union added.(p) h) ctx.net.post_list.(t)
+      in
+      Hashtbl.iter move histories;
+      let m =
+        Array.init n_places (fun p ->
+            W.union (W.diff (State.marking s p) removed.(p)) added.(p))
+      in
+      State.make m !r'
+
+    let deadlock_worlds ctx (s : State.t) =
+      let live = ref W.empty in
+      for t = 0 to ctx.net.n_transitions - 1 do
+        live := W.union !live (s_enabled ctx t s)
+      done;
+      W.diff (State.valid s) !live
+
+    let check_invariant _ctx (s : State.t) =
+      Array.iteri
+        (fun p ws ->
+          if not (W.subset ws (State.valid s)) then
+            failwith (Printf.sprintf "GPN invariant violated: m(%d) ⊄ r" p))
+        s.State.m
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* The generalized partial-order explorer.                           *)
+
+  module Explorer = struct
+    module Marking_table = Petri.Reachability.Marking_table
+    module Net' = Petri.Net
+
+    (* Worlds are interned bit sets under the default representation,
+       so this table's probes are digest reads + (near-)pointer
+       comparisons. *)
+    module World_tbl = Hashtbl.Make (Petri.Bitset)
+
+    type label = {
+      multiples : Bitset.t;
+      singles : Petri.Net.transition list;
+      singles_set : Bitset.t;  (* same content as [singles], O(1) mem *)
+    }
+
+    type reduction = Batched | Stepwise
+
+    type run = {
+      root : Bitset.t;
+      origin : origin;
+      initial : State.t;
+      predecessor : (label * State.t) State.Table.t;
+      visited : unit State.Table.t;
+    }
+
+    and origin =
+      | Init
+      | Deviation of {
+          parent : run;
+          state : State.t;
+          world : W.world;
+          transition : Petri.Net.transition;
+        }
+
+    type witness = {
+      run : run;
+      state : State.t;
+      worlds : W.t;
+      markings : Bitset.t list;
+    }
+
+    type result = {
+      ctx : Dynamics.ctx;
+      states : int;
+      edges : int;
+      runs : run list;
+      deadlocks : witness list;
+      truncated : bool;
+    }
+
+    (* Per-state enabling information, computed once. *)
+    type enabling = {
+      s_enab : W.t array;  (* per transition *)
+      m_enab : W.t array;  (* per transition; empty for non-choice *)
+    }
+
+    let enabling ctx s =
+      let net = Dynamics.net ctx in
+      let n = net.Petri.Net.n_transitions in
+      let s_enab = Array.init n (fun t -> Dynamics.s_enabled ctx t s) in
+      let choice = Dynamics.choice_transitions ctx in
+      let m_enab =
+        Array.init n (fun t ->
+            if Bitset.mem t choice then W.filter_member t s_enab.(t) else W.empty)
+      in
+      { s_enab; m_enab }
+
+    (* Union of the presets of a choice transition's cluster partners:
+       places whose marking decides whether a {e competitor} of [t] is
+       enabled. *)
+    let partner_presets ctx =
+      let net = Dynamics.net ctx in
+      let conflict = Dynamics.conflict ctx in
+      Array.init net.Petri.Net.n_transitions (fun t ->
+          let cluster =
+            Petri.Conflict.cluster_members conflict
+              (Petri.Conflict.cluster_of conflict t)
+          in
+          Bitset.fold
+            (fun t' acc ->
+              if t' = t then acc else Bitset.union acc net.Petri.Net.pre.(t'))
+            cluster
+            (Bitset.empty net.Petri.Net.n_places))
+
+    (* Firing several transitions in one step is only deviation-safe when
+       no batch member's output feeds the preset of another member's
+       conflict partner: otherwise the step jumps over the intermediate
+       marking in which that partner becomes enabled, and the deviation
+       scan never sees the choice.  Deferred transitions stay
+       multiple-enabled and fire in a later step; the fixpoint can only
+       shrink, and a singleton batch can never skip a marking, so firing
+       the lowest multiple alone is always a safe last resort. *)
+    let defer_unsafe_multiples ctx partner_pre en ~thorough multiples singles =
+      let net = Dynamics.net ctx in
+      let conflict = Dynamics.conflict ctx in
+      let batch_post tbatch =
+        List.fold_left
+          (fun acc u -> Bitset.union acc net.Petri.Net.post.(u))
+          (Bitset.fold
+             (fun u acc -> Bitset.union acc net.Petri.Net.post.(u))
+             tbatch
+             (Bitset.empty net.Petri.Net.n_places))
+          singles
+      in
+      let rec fixpoint multiples =
+        let keep =
+          Bitset.fold
+            (fun t acc ->
+              let others = batch_post (Bitset.remove t multiples) in
+              if Bitset.intersects others partner_pre.(t) then acc
+              else Bitset.add t acc)
+            multiples
+            (Bitset.empty (Bitset.width multiples))
+        in
+        if Bitset.equal keep multiples then multiples else fixpoint keep
+      in
+      (* Thorough mode: a world firing two transitions of the same
+         cluster in one step skips the serialization in which the first
+         firing re-enables a competitor of the second through a chain of
+         other transitions, and the deviation scan cannot see it.  Keep
+         at most one member per (cluster, overlapping worlds) group,
+         firing first the transitions whose outputs feed some choice
+         preset (they "open" re-entries whose conflicts must become
+         visible). *)
+      let serialize_same_cluster multiples =
+        let choice_presets =
+          Bitset.fold
+            (fun t acc -> Bitset.union acc net.Petri.Net.pre.(t))
+            (Dynamics.choice_transitions ctx)
+            (Bitset.empty net.Petri.Net.n_places)
+        in
+        let opens t = Bitset.intersects net.Petri.Net.post.(t) choice_presets in
+        let members = Bitset.elements multiples in
+        let by_priority =
+          List.sort
+            (fun a b ->
+              match Bool.compare (opens b) (opens a) with
+              | 0 -> Int.compare a b
+              | c -> c)
+            members
+        in
+        List.fold_left
+          (fun kept t ->
+            let clashes u =
+              u <> t
+              && Petri.Conflict.cluster_of conflict u
+                 = Petri.Conflict.cluster_of conflict t
+              && (not (Petri.Conflict.in_conflict conflict u t))
+              && W.exists (fun v -> W.mem v en.m_enab.(u)) en.m_enab.(t)
+            in
+            if Bitset.exists clashes kept then kept else Bitset.add t kept)
+          (Bitset.empty (Bitset.width multiples))
+          by_priority
+      in
+      let kept = fixpoint multiples in
+      let kept =
+        if thorough && not (Bitset.is_empty kept) then serialize_same_cluster kept
+        else kept
+      in
+      if Bitset.is_empty kept && not (Bitset.is_empty multiples) && singles = []
+      then
+        (* Precedence cycle with nothing else to fire: serialize by
+           firing one transition alone.  The caller schedules restarts
+           for the skipped "other transition first" interleavings. *)
+        (Bitset.singleton (Bitset.width multiples) (Bitset.choose multiples), true)
+      else (kept, false)
+
+    (* The transitions to fire from a state: all multiple-enabled choice
+       transitions with the multiple rule, plus all single-enabled
+       conflict-free transitions with the single rule, in one combined
+       step (candidate MCSs first, matching the order of the paper's
+       algorithm). *)
+    let successor_labels reduction ctx partner_pre ~thorough ~step en =
+      let net = Dynamics.net ctx in
+      let choice = Dynamics.choice_transitions ctx in
+      let n = net.Petri.Net.n_transitions in
+      let multiples = ref (Bitset.empty n) in
+      let singles = ref [] in
+      let singles_set = ref (Bitset.empty n) in
+      for t = n - 1 downto 0 do
+        if Bitset.mem t choice then begin
+          if not (W.is_empty en.m_enab.(t)) then multiples := Bitset.add t !multiples
+        end
+        else if not (W.is_empty en.s_enab.(t)) then begin
+          singles := t :: !singles;
+          singles_set := Bitset.add t !singles_set
+        end
+      done;
+      match reduction with
+      | Batched ->
+          if Bitset.is_empty !multiples && !singles = [] then ([], Bitset.empty n)
+          else begin
+            let fired, forced =
+              defer_unsafe_multiples ctx partner_pre en ~thorough !multiples !singles
+            in
+            let skipped =
+              if forced then Bitset.diff !multiples fired else Bitset.empty n
+            in
+            ( [ { multiples = fired; singles = !singles; singles_set = !singles_set } ],
+              skipped )
+          end
+      | Stepwise ->
+          (* One conflict cluster per step (singles stay batched: they
+             are the uncontroversial part).  The cluster is picked by
+             rotation on the step counter, not lowest-first: a cyclic
+             component must not starve the others ("not postponed
+             forever"). *)
+          if Bitset.is_empty !multiples && !singles = [] then ([], Bitset.empty n)
+          else if Bitset.is_empty !multiples then
+            ( [
+                {
+                  multiples = Bitset.empty n;
+                  singles = !singles;
+                  singles_set = !singles_set;
+                };
+              ],
+              Bitset.empty n )
+          else begin
+            let conflict = Dynamics.conflict ctx in
+            (* Clusters represented by the fired multiples, as a bit set
+               over cluster indices: deduplication and ascending order
+               in one pass (the former [List.mem] scan was quadratic). *)
+            let n_clusters = Array.length (Petri.Conflict.clusters conflict) in
+            let cluster_ids =
+              Bitset.elements
+                (Bitset.fold
+                   (fun t acc ->
+                     Bitset.add (Petri.Conflict.cluster_of conflict t) acc)
+                   !multiples (Bitset.empty n_clusters))
+            in
+            let picked = List.nth cluster_ids (step mod List.length cluster_ids) in
+            let fired =
+              Bitset.inter !multiples (Petri.Conflict.cluster_members conflict picked)
+            in
+            (* Rotation guarantees the other clusters fire in later
+               steps; the cycle-closure safety net covers the rest, so
+               they are not reported as skipped. *)
+            ( [ { multiples = fired; singles = !singles; singles_set = !singles_set } ],
+              Bitset.empty n )
+          end
+
+    let apply ctx s { multiples; singles; _ } =
+      Dynamics.step_fire ctx ~multiples ~singles s
+
+    let debug = match Sys.getenv_opt "GPO_DEBUG" with Some _ -> true | None -> false
+
+    (* Telemetry.  Counters mirror the result record exactly (asserted by
+       the test suite): [gpo.states] = [result.states], [gpo.restarts] =
+       [List.length result.runs - 1].  The worlds-per-state distribution
+       and the scan/fire spans only run with a sink installed — cardinal
+       and clock calls are not free, and the uninstrumented hot path must
+       stay within noise of the seed. *)
+    let c_states = Gpo_obs.Counter.make "gpo.states"
+    let c_edges = Gpo_obs.Counter.make "gpo.edges"
+    let c_restarts = Gpo_obs.Counter.make "gpo.restarts"
+    let c_witnesses = Gpo_obs.Counter.make "gpo.deadlock_witnesses"
+    let c_deviations = Gpo_obs.Counter.make "gpo.deviations_scheduled"
+    let d_worlds = Gpo_obs.Dist.make "gpo.worlds_per_state"
+
+    let classical_successor (net : Petri.Net.t) marking t =
+      Bitset.union (Bitset.diff marking net.pre.(t)) net.post.(t)
+
+    (* Deadlock-equivalence normal form: fire the lowest-index enabled
+       conflict-free transition until quiescence.  A conflict-free
+       transition owns its preset exclusively, so it can never be
+       disabled: no deadlock can be reached before it fires, and it
+       commutes with every other firing — markings equal up to such
+       firings reach exactly the same deadlocks.  The walk is
+       deterministic; if it enters a cycle of conflict-free firings, the
+       smallest marking of the cycle is the canonical representative. *)
+    let normal_form ctx marking =
+      let net = Dynamics.net ctx in
+      let choice = Dynamics.choice_transitions ctx in
+      let next m =
+        let rec search t =
+          if t >= net.Petri.Net.n_transitions then None
+          else if (not (Bitset.mem t choice)) && Petri.Semantics.enabled net t m
+          then Some t
+          else search (t + 1)
+        in
+        search 0
+      in
+      let seen = Marking_table.create 8 in
+      let rec walk m =
+        match next m with
+        | None -> m
+        | Some t ->
+            if Marking_table.mem seen m then begin
+              (* Cycle: walk it once more, collecting its markings. *)
+              let rec collect m' acc =
+                match next m' with
+                | None -> assert false
+                | Some t' ->
+                    let m'' = classical_successor net m' t' in
+                    if Bitset.equal m'' m then acc
+                    else collect m'' (if Bitset.compare m'' acc < 0 then m'' else acc)
+              in
+              collect m m
+            end
+            else begin
+              Marking_table.add seen m ();
+              walk (classical_successor net m t)
+            end
+      in
+      walk marking
+
+    let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
+        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ctx =
+      let net = Dynamics.net ctx in
+      let choice = Dynamics.choice_transitions ctx in
+      let partner_pre = partner_presets ctx in
+      let roots_done = Marking_table.create 16 in
+      let pending = Queue.create () in
+      let seen_dead_markings = Marking_table.create 16 in
+      (* Every classical marking denoted by some world of some visited
+         state: that world's continued exploration (plus further
+         deviation scans) covers the marking's future, so deviations into
+         these markings need no restart. *)
+      let denoted_global = Marking_table.create 64 in
+      let edges = ref 0 in
+      let total_states = ref 0 in
+      let deadlocks = ref [] in
+      let witness_count = ref 0 in
+      let truncated = ref false in
+      let runs = ref [] in
+      Gpo_obs.Counter.touch c_states;
+      Gpo_obs.Counter.touch c_edges;
+      Gpo_obs.Counter.touch c_restarts;
+      Gpo_obs.Counter.touch c_witnesses;
+      W.touch_stats ();
+      let schedule ~key root origin =
+        (match origin with
+        | Init -> ()
+        | Deviation _ -> Gpo_obs.Counter.incr c_deviations);
+        if not (Marking_table.mem roots_done key) then begin
+          Marking_table.add roots_done key ();
+          Queue.add (root, origin) pending
+        end
+      in
+      schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
+      while not (Queue.is_empty pending) do
+        let root, origin = Queue.pop pending in
+        (match origin with
+        | Init -> ()
+        | Deviation _ -> Gpo_obs.Counter.incr c_restarts);
+        let run =
+          {
+            root;
+            origin;
+            initial = Dynamics.initial_of_marking ctx root;
+            predecessor = State.Table.create 64;
+            visited = State.Table.create 64;
+          }
+        in
+        runs := run :: !runs;
+        let visited = run.visited in
+        (* Both reductions produce at most one successor per state, so a
+           run is a path (possibly closing a cycle); we walk it carrying
+           the previous state's rejection sets to scan only deviations
+           that are new — a world that fires nothing keeps its tokens,
+           hence its pending rejections, and those were already covered
+           or restarted when they first appeared. *)
+        let n_transitions = net.Petri.Net.n_transitions in
+        let current = ref (Some (run.initial, Array.make n_transitions W.empty)) in
+        State.Table.add visited run.initial ();
+        incr total_states;
+        Gpo_obs.Counter.incr c_states;
+        while !current <> None do
+          let s, prev_rejections =
+            match !current with Some v -> v | None -> assert false
+          in
+          current := None;
+          let en = enabling ctx s in
+          if Gpo_obs.enabled () then begin
+            Gpo_obs.Dist.observe_int d_worlds (W.cardinal (State.valid s));
+            Gpo_obs.Progress.sample "gpo" (fun () ->
+                [
+                  ("states", Gpo_obs.I !total_states);
+                  ("edges", Gpo_obs.I !edges);
+                  ("runs", Gpo_obs.I (List.length !runs));
+                  ("queue_depth", Gpo_obs.I (Queue.length pending));
+                  ("worlds", Gpo_obs.I (W.cardinal (State.valid s)));
+                ])
+          end;
+          if debug then Format.eprintf "@[<v>STATE@ %a@]@." (State.pp net) s;
+          (* Deviation restarts discovered while processing this state.
+             World-set iteration order differs between representations,
+             so candidates are collected and sorted by content before
+             being enqueued: the queue order (hence everything
+             downstream) is representation-independent. *)
+          let devs = ref [] in
+          let defer ~key root world transition =
+            devs := (key, root, world, transition) :: !devs
+          in
+          let flush_deviations () =
+            let cmp (k1, r1, _, t1) (k2, r2, _, t2) =
+              let c = Bitset.compare k1 k2 in
+              if c <> 0 then c
+              else begin
+                let c = Bitset.compare r1 r2 in
+                if c <> 0 then c else Int.compare t1 t2
+              end
+            in
+            List.iter
+              (fun (key, root, world, transition) ->
+                schedule ~key root
+                  (Deviation { parent = run; state = s; world; transition }))
+              (List.sort cmp !devs)
+          in
+          (* Deadlock worlds: valid worlds enabling nothing. *)
+          let live = Array.fold_left W.union W.empty en.s_enab in
+          let dead = W.diff (State.valid s) live in
+          if not (W.is_empty dead) then begin
+            let fresh_markings =
+              W.fold
+                (fun v acc ->
+                  let m = State.denoted_marking s v in
+                  if Marking_table.mem seen_dead_markings m then acc
+                  else begin
+                    Marking_table.add seen_dead_markings m ();
+                    m :: acc
+                  end)
+                dead []
+              |> List.sort Bitset.compare
+            in
+            if fresh_markings <> [] && !witness_count < max_deadlocks then begin
+              incr witness_count;
+              Gpo_obs.Counter.incr c_witnesses;
+              deadlocks :=
+                { run; state = s; worlds = dead; markings = fresh_markings }
+                :: !deadlocks
+            end
+          end;
+          (* Deviation scan: a world whose denoted marking enables a
+             choice transition its label rejected must have that branch
+             covered by a sibling world, or the analysis restarts from
+             the deviating marking. *)
+          let denotation_cache = World_tbl.create 32 in
+          let denote v =
+            match World_tbl.find_opt denotation_cache v with
+            | Some m -> m
+            | None ->
+                let m = State.denoted_marking s v in
+                World_tbl.add denotation_cache v m;
+                m
+          in
+          let nf_cache = World_tbl.create 32 in
+          let nf_denote v =
+            match World_tbl.find_opt nf_cache v with
+            | Some m -> m
+            | None ->
+                let m = normal_form ctx (denote v) in
+                World_tbl.add nf_cache v m;
+                m
+          in
+          let sp_scan = Gpo_obs.Span.enter "gpo.scan" in
+          if scan then
+            W.iter
+              (fun v -> Marking_table.replace denoted_global (nf_denote v) ())
+              (State.valid s);
+          let rejections = Array.make n_transitions W.empty in
+          if scan then
+            Bitset.iter
+              (fun t ->
+                rejections.(t) <- W.diff en.s_enab.(t) en.m_enab.(t);
+                let rejecting = W.diff rejections.(t) prev_rejections.(t) in
+                if not (W.is_empty rejecting) then begin
+                  (* Denotations of the worlds about to fire [t] this
+                     step: their post-firing markings are not yet in the
+                     global table, so cover them by pre-firing
+                     equality. *)
+                  let firing_denotations =
+                    lazy
+                      begin
+                        let table = Marking_table.create 8 in
+                        W.iter
+                          (fun u -> Marking_table.replace table (nf_denote u) ())
+                          en.m_enab.(t);
+                        table
+                      end
+                  in
+                  W.iter
+                    (fun v ->
+                      if
+                        not
+                          (Marking_table.mem
+                             (Lazy.force firing_denotations)
+                             (nf_denote v))
+                      then begin
+                        let m_t = classical_successor net (denote v) t in
+                        let key = normal_form ctx m_t in
+                        if debug then
+                          Format.eprintf "DEVIATION t=%s m_t=%a covered=%b@."
+                            (Net'.transition_name net t) (Net'.pp_marking net) m_t
+                            (Marking_table.mem denoted_global key);
+                        if not (Marking_table.mem denoted_global key) then
+                          defer ~key m_t v t
+                      end)
+                    rejecting
+                end)
+              choice;
+          Gpo_obs.Span.exit sp_scan;
+          (* Fire: at most one label per state.  A rejection is carried
+             to the next state only for worlds that did not fire in this
+             step: a world that moved has a new denotation, so its
+             pending rejections must be re-scanned there. *)
+          let sp_fire = Gpo_obs.Span.enter "gpo.fire" in
+          let labels, skipped =
+            successor_labels reduction ctx partner_pre ~thorough ~step:!edges en
+          in
+          (* Firing order was forced against the safe precedence (or a
+             cluster was fired ahead of others in Stepwise mode): cover
+             the "skipped transition first" interleavings by restarting
+             from their firing markings. *)
+          if scan then
+            Bitset.iter
+              (fun w ->
+                W.iter
+                  (fun v ->
+                    let m_w = classical_successor net (denote v) w in
+                    let key = normal_form ctx m_w in
+                    if not (Marking_table.mem denoted_global key) then
+                      defer ~key m_w v w)
+                  en.m_enab.(w))
+              skipped;
+          List.iter
+            (fun label ->
+              if debug then
+                Format.eprintf "FIRE multiples=%a singles=%a@."
+                  (Net'.pp_transition_set net) label.multiples
+                  (Format.pp_print_list (fun ppf t ->
+                       Format.pp_print_string ppf (Net'.transition_name net t)))
+                  label.singles;
+              let s' = apply ctx s label in
+              incr edges;
+              Gpo_obs.Counter.incr c_edges;
+              if State.Table.mem visited s' then begin
+                if scan then begin
+                  (* Cycle closure: a transition postponed on every step
+                     of the cycle would otherwise never fire — restart
+                     from its firing markings (usually redundant and
+                     deduplicated; sound either way).  Covers both
+                     deferred multiples and, in Stepwise mode, the
+                     unfired singles. *)
+                  let fire_worlds t =
+                    if Bitset.mem t choice then
+                      if Bitset.mem t label.multiples then W.empty
+                      else en.m_enab.(t)
+                    else if Bitset.mem t label.singles_set then W.empty
+                    else en.s_enab.(t)
+                  in
+                  (* Unlike the in-run deviation scan, these restarts
+                     must not be suppressed by the global denotation
+                     table: the table's premise — that a denoted
+                     marking's future is explored by its world — is
+                     exactly what the closing cycle violated.  The root
+                     memoization still deduplicates. *)
+                  for t = 0 to net.Petri.Net.n_transitions - 1 do
+                    W.iter
+                      (fun v ->
+                        let m_t = classical_successor net (denote v) t in
+                        defer ~key:(normal_form ctx m_t) m_t v t)
+                      (fire_worlds t)
+                  done
+                end
+              end
+              else begin
+                if !total_states >= max_states then truncated := true
+                else begin
+                  let moved =
+                    List.fold_left
+                      (fun acc t -> W.union acc en.s_enab.(t))
+                      (Bitset.fold
+                         (fun t acc -> W.union acc en.m_enab.(t))
+                         label.multiples W.empty)
+                      label.singles
+                  in
+                  let carried = Array.map (fun ws -> W.diff ws moved) rejections in
+                  State.Table.add visited s' ();
+                  incr total_states;
+                  Gpo_obs.Counter.incr c_states;
+                  State.Table.add run.predecessor s' (label, s);
+                  current := Some (s', carried)
+                end
+              end)
+            labels;
+          flush_deviations ();
+          Gpo_obs.Span.exit sp_fire
+        done
+      done;
+      {
+        ctx;
+        states = !total_states;
+        edges = !edges;
+        runs = List.rev !runs;
+        deadlocks = List.rev !deadlocks;
+        truncated = !truncated;
+      }
+
+    let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks net =
+      explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks
+        (Dynamics.make net)
+
+    let deadlock_free result = result.deadlocks = []
+
+    (* Transitions fired by world [v] along the run's path from its
+       initial state to [target]. *)
+    let replay_in_world ctx run v target =
+      let rec path s acc =
+        match State.Table.find_opt run.predecessor s with
+        | None -> acc
+        | Some (label, s_prev) -> path s_prev ((s_prev, label) :: acc)
+      in
+      let steps = path target [] in
+      List.concat_map
+        (fun (s, label) ->
+          let fired_multiples =
+            Bitset.fold
+              (fun t acc ->
+                if W.mem v (Dynamics.m_enabled ctx t s) then t :: acc else acc)
+              label.multiples []
+            |> List.rev
+          in
+          let fired_singles =
+            List.filter (fun t -> W.mem v (Dynamics.s_enabled ctx t s)) label.singles
+          in
+          fired_multiples @ fired_singles)
+        steps
+
+    (* Classical trace from the net's initial marking to the run's
+       root. *)
+    let rec root_trace ctx run =
+      match run.origin with
+      | Init -> []
+      | Deviation { parent; state; world; transition } ->
+          root_trace ctx parent
+          @ replay_in_world ctx parent world state
+          @ [ transition ]
+
+    let deadlock_trace result witness =
+      let ctx = result.ctx in
+      let v = W.choose witness.worlds in
+      root_trace ctx witness.run @ replay_in_world ctx witness.run v witness.state
+
+    let pp_summary ppf result =
+      Format.fprintf ppf "%s (GPO): %d states, %d edges, %d run(s), %s%s"
+        (Dynamics.net result.ctx).Petri.Net.name result.states result.edges
+        (List.length result.runs)
+        (if result.deadlocks = [] then "deadlock free"
+         else Printf.sprintf "%d deadlock witness(es)" (List.length result.deadlocks))
+        (if result.truncated then " (truncated)" else "")
+  end
+end
+
+(* The default engine (hash-consed world sets) — the library's
+   [State]/[Dynamics]/[Explorer] modules re-export this instance — and
+   the tree-representation engine kept for the ablation bench and the
+   equivalence suite. *)
+module Hashconsed = Make (World_set)
+module Tree = Make (World_set_tree)

@@ -1,244 +1,3 @@
-module Bitset = Petri.Bitset
-
-type ctx = {
-  net : Petri.Net.t;
-  conflict : Petri.Conflict.t;
-  choice : Bitset.t;
-  alternatives : Bitset.t list list;  (* per choice cluster: its maximal independent sets *)
-  initial : State.t;
-}
-
-let net ctx = ctx.net
-let conflict ctx = ctx.conflict
-let choice_transitions ctx = ctx.choice
-let cluster_alternatives ctx = ctx.alternatives
-let initial ctx = ctx.initial
-
-(* Maximal independent sets of the conflict relation restricted to a
-   cluster, by Bron-Kerbosch on the independence ("non-conflict")
-   adjacency.  Clusters are small in practice (a handful of transitions
-   competing for shared places), and cliques — the worst case for state
-   count — are the best case here (each MIS is a singleton). *)
-let maximal_independent_sets conflict members =
-  let width = Bitset.width members in
-  let independent v =
-    Bitset.diff (Bitset.remove v members) (Petri.Conflict.conflicting conflict v)
-  in
-  let results = ref [] in
-  let rec bron_kerbosch r p x =
-    if Bitset.is_empty p && Bitset.is_empty x then results := r :: !results
-    else begin
-      let p = ref p and x = ref x in
-      Bitset.iter
-        (fun v ->
-          if Bitset.mem v !p then begin
-            let n = independent v in
-            bron_kerbosch (Bitset.add v r) (Bitset.inter !p n) (Bitset.inter !x n);
-            p := Bitset.remove v !p;
-            x := Bitset.add v !x
-          end)
-        members
-    end
-  in
-  bron_kerbosch (Bitset.empty width) members (Bitset.empty width);
-  !results
-
-let make ?conflict (net : Petri.Net.t) =
-  let conflict =
-    match conflict with Some c -> c | None -> Petri.Conflict.analyse net
-  in
-  let n = net.n_transitions in
-  let choice = ref (Bitset.empty n) in
-  let alternatives = ref [] in
-  Array.iter
-    (fun members ->
-      if Bitset.cardinal members >= 2 then begin
-        choice := Bitset.union !choice members;
-        alternatives := maximal_independent_sets conflict members :: !alternatives
-      end)
-    (Petri.Conflict.clusters conflict);
-  let alternatives = List.rev !alternatives in
-  let r0 =
-    World_set.product n (List.map World_set.of_list alternatives)
-  in
-  let m0 =
-    Array.init net.n_places (fun p ->
-        if Bitset.mem p net.initial then r0 else World_set.empty)
-  in
-  {
-    net;
-    conflict;
-    choice = !choice;
-    alternatives;
-    initial = State.make m0 r0;
-  }
-
-let initial_of_marking ctx marking =
-  let r0 = State.valid ctx.initial in
-  let m =
-    Array.init ctx.net.n_places (fun p ->
-        if Bitset.mem p marking then r0 else World_set.empty)
-  in
-  State.make m r0
-
-let s_enabled ctx t (s : State.t) =
-  let pre = ctx.net.pre_list.(t) in
-  if Array.length pre = 0 then State.valid s
-  else begin
-    let acc = ref (State.marking s pre.(0)) in
-    for i = 1 to Array.length pre - 1 do
-      acc := World_set.inter !acc (State.marking s pre.(i))
-    done;
-    !acc
-  end
-
-let enabled_transitions ctx s =
-  let rec loop t acc =
-    if t < 0 then acc
-    else begin
-      let acc =
-        if World_set.is_empty (s_enabled ctx t s) then acc else Bitset.add t acc
-      in
-      loop (t - 1) acc
-    end
-  in
-  loop (ctx.net.n_transitions - 1) (Bitset.empty ctx.net.n_transitions)
-
-let m_enabled ctx t s =
-  if Bitset.mem t ctx.choice then World_set.filter_member t (s_enabled ctx t s)
-  else World_set.empty
-
-let single_fire ctx t (s : State.t) =
-  let history = s_enabled ctx t s in
-  assert (not (World_set.is_empty history));
-  let pre = ctx.net.pre.(t) and post = ctx.net.post.(t) in
-  let m =
-    Array.mapi
-      (fun p ws ->
-        let in_pre = Bitset.mem p pre and in_post = Bitset.mem p post in
-        if in_pre && not in_post then World_set.diff ws history
-        else if in_post && not in_pre then World_set.union ws history
-        else ws)
-      (Array.init (Array.length ctx.net.place_names) (State.marking s))
-  in
-  State.make m (State.valid s)
-
-let batch_single_fire ctx ts (s : State.t) =
-  let histories =
-    List.map
-      (fun t ->
-        let h = s_enabled ctx t s in
-        assert (not (World_set.is_empty h));
-        (t, h))
-      ts
-  in
-  let n_places = ctx.net.n_places in
-  let removed = Array.make n_places World_set.empty in
-  let added = Array.make n_places World_set.empty in
-  List.iter
-    (fun (t, h) ->
-      let pre = ctx.net.pre.(t) and post = ctx.net.post.(t) in
-      Array.iter
-        (fun p ->
-          if not (Bitset.mem p post) then removed.(p) <- World_set.union removed.(p) h)
-        ctx.net.pre_list.(t);
-      Array.iter
-        (fun p ->
-          if not (Bitset.mem p pre) then added.(p) <- World_set.union added.(p) h)
-        ctx.net.post_list.(t))
-    histories;
-  let m =
-    Array.init n_places (fun p ->
-        World_set.union (World_set.diff (State.marking s p) removed.(p)) added.(p))
-  in
-  State.make m (State.valid s)
-
-let multiple_fire ctx fired (s : State.t) =
-  let n_places = ctx.net.n_places in
-  let histories =
-    (* m_enabled per fired transition, computed once. *)
-    let table = Hashtbl.create 16 in
-    Bitset.iter
-      (fun t ->
-        let h = m_enabled ctx t s in
-        assert (not (World_set.is_empty h));
-        Hashtbl.add table t h)
-      fired;
-    table
-  in
-  (* r' keeps the worlds that chose a fired transition, plus the worlds
-     still single-enabling some unfired transition (Definition 3.6). *)
-  let r' = ref World_set.empty in
-  for t = 0 to ctx.net.n_transitions - 1 do
-    if Bitset.mem t fired then r' := World_set.union !r' (Hashtbl.find histories t)
-    else r' := World_set.union !r' (s_enabled ctx t s)
-  done;
-  let r' = !r' in
-  let removed = Array.make n_places World_set.empty in
-  let added = Array.make n_places World_set.empty in
-  Bitset.iter
-    (fun t ->
-      let h = Hashtbl.find histories t in
-      Array.iter
-        (fun p -> removed.(p) <- World_set.union removed.(p) h)
-        ctx.net.pre_list.(t);
-      Array.iter
-        (fun p -> added.(p) <- World_set.union added.(p) h)
-        ctx.net.post_list.(t))
-    fired;
-  let m =
-    Array.init n_places (fun p ->
-        World_set.union (World_set.diff (State.marking s p) removed.(p)) added.(p))
-  in
-  (* State.make intersects every place with r'. *)
-  State.make m r'
-
-let step_fire ctx ~multiples ~singles (s : State.t) =
-  let n_places = ctx.net.n_places in
-  let histories = Hashtbl.create 16 in
-  Bitset.iter
-    (fun t ->
-      let h = m_enabled ctx t s in
-      assert (not (World_set.is_empty h));
-      Hashtbl.add histories t h)
-    multiples;
-  List.iter
-    (fun t ->
-      let h = s_enabled ctx t s in
-      assert (not (World_set.is_empty h));
-      Hashtbl.add histories t h)
-    singles;
-  (* Definition 3.6 with T' = multiples: worlds that chose and fired a
-     multiple, or that still single-enable any transition outside T'
-     (including the fired singles). *)
-  let r' = ref World_set.empty in
-  for t = 0 to ctx.net.n_transitions - 1 do
-    if Bitset.mem t multiples then r' := World_set.union !r' (Hashtbl.find histories t)
-    else r' := World_set.union !r' (s_enabled ctx t s)
-  done;
-  let removed = Array.make n_places World_set.empty in
-  let added = Array.make n_places World_set.empty in
-  let move t h =
-    Array.iter (fun p -> removed.(p) <- World_set.union removed.(p) h) ctx.net.pre_list.(t);
-    Array.iter (fun p -> added.(p) <- World_set.union added.(p) h) ctx.net.post_list.(t)
-  in
-  Hashtbl.iter move histories;
-  let m =
-    Array.init n_places (fun p ->
-        World_set.union (World_set.diff (State.marking s p) removed.(p)) added.(p))
-  in
-  State.make m !r'
-
-let deadlock_worlds ctx (s : State.t) =
-  let live = ref World_set.empty in
-  for t = 0 to ctx.net.n_transitions - 1 do
-    live := World_set.union !live (s_enabled ctx t s)
-  done;
-  World_set.diff (State.valid s) !live
-
-let check_invariant _ctx (s : State.t) =
-  Array.iteri
-    (fun p ws ->
-      if not (World_set.subset ws (State.valid s)) then
-        failwith (Printf.sprintf "GPN invariant violated: m(%d) ⊄ r" p))
-    s.State.m
+(* Re-export of the default engine's dynamics (hash-consed world sets).
+   The implementation lives in [Core.Make]; see core.ml. *)
+include Core.Hashconsed.Dynamics

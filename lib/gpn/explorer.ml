@@ -1,573 +1,3 @@
-module Bitset = Petri.Bitset
-module Marking_table = Petri.Reachability.Marking_table
-module Net' = Petri.Net
-
-type label = { multiples : Bitset.t; singles : Petri.Net.transition list }
-
-type reduction = Batched | Stepwise
-
-type run = {
-  root : Bitset.t;
-  origin : origin;
-  initial : State.t;
-  predecessor : (label * State.t) State.Table.t;
-  visited : unit State.Table.t;
-}
-
-and origin =
-  | Init
-  | Deviation of {
-      parent : run;
-      state : State.t;
-      world : World_set.world;
-      transition : Petri.Net.transition;
-    }
-
-type witness = {
-  run : run;
-  state : State.t;
-  worlds : World_set.t;
-  markings : Bitset.t list;
-}
-
-type result = {
-  ctx : Dynamics.ctx;
-  states : int;
-  edges : int;
-  runs : run list;
-  deadlocks : witness list;
-  truncated : bool;
-}
-
-(* Per-state enabling information, computed once. *)
-type enabling = {
-  s_enab : World_set.t array;  (* per transition *)
-  m_enab : World_set.t array;  (* per transition; empty for non-choice *)
-}
-
-let enabling ctx s =
-  let net = Dynamics.net ctx in
-  let n = net.Petri.Net.n_transitions in
-  let s_enab = Array.init n (fun t -> Dynamics.s_enabled ctx t s) in
-  let choice = Dynamics.choice_transitions ctx in
-  let m_enab =
-    Array.init n (fun t ->
-        if Bitset.mem t choice then World_set.filter_member t s_enab.(t)
-        else World_set.empty)
-  in
-  { s_enab; m_enab }
-
-(* Union of the presets of a choice transition's cluster partners:
-   places whose marking decides whether a {e competitor} of [t] is
-   enabled. *)
-let partner_presets ctx =
-  let net = Dynamics.net ctx in
-  let conflict = Dynamics.conflict ctx in
-  Array.init net.Petri.Net.n_transitions (fun t ->
-      let cluster =
-        Petri.Conflict.cluster_members conflict (Petri.Conflict.cluster_of conflict t)
-      in
-      Bitset.fold
-        (fun t' acc ->
-          if t' = t then acc else Bitset.union acc net.Petri.Net.pre.(t'))
-        cluster
-        (Bitset.empty net.Petri.Net.n_places))
-
-(* Firing several transitions in one step is only deviation-safe when no
-   batch member's output feeds the preset of another member's conflict
-   partner: otherwise the step jumps over the intermediate marking in
-   which that partner becomes enabled, and the deviation scan never sees
-   the choice.  Deferred transitions stay multiple-enabled and fire in a
-   later step; the fixpoint can only shrink, and a singleton batch can
-   never skip a marking, so firing the lowest multiple alone is always a
-   safe last resort. *)
-let defer_unsafe_multiples ctx partner_pre en ~thorough multiples singles =
-  let net = Dynamics.net ctx in
-  let conflict = Dynamics.conflict ctx in
-  let batch_post tbatch =
-    List.fold_left
-      (fun acc u -> Bitset.union acc net.Petri.Net.post.(u))
-      (Bitset.fold
-         (fun u acc -> Bitset.union acc net.Petri.Net.post.(u))
-         tbatch
-         (Bitset.empty net.Petri.Net.n_places))
-      singles
-  in
-  let rec fixpoint multiples =
-    let keep =
-      Bitset.fold
-        (fun t acc ->
-          let others = batch_post (Bitset.remove t multiples) in
-          if Bitset.intersects others partner_pre.(t) then acc else Bitset.add t acc)
-        multiples
-        (Bitset.empty (Bitset.width multiples))
-    in
-    if Bitset.equal keep multiples then multiples else fixpoint keep
-  in
-  (* Thorough mode: a world firing two transitions of the same cluster
-     in one step skips the serialization in which the first firing
-     re-enables a competitor of the second through a chain of other
-     transitions, and the deviation scan cannot see it.  Keep at most
-     one member per (cluster, overlapping worlds) group, firing first
-     the transitions whose outputs feed some choice preset (they "open"
-     re-entries whose conflicts must become visible). *)
-  let serialize_same_cluster multiples =
-    let choice_presets =
-      Bitset.fold
-        (fun t acc -> Bitset.union acc net.Petri.Net.pre.(t))
-        (Dynamics.choice_transitions ctx)
-        (Bitset.empty net.Petri.Net.n_places)
-    in
-    let opens t = Bitset.intersects net.Petri.Net.post.(t) choice_presets in
-    let members = Bitset.elements multiples in
-    let by_priority =
-      List.sort
-        (fun a b ->
-          match Bool.compare (opens b) (opens a) with 0 -> Int.compare a b | c -> c)
-        members
-    in
-    List.fold_left
-      (fun kept t ->
-        let clashes u =
-          u <> t
-          && Petri.Conflict.cluster_of conflict u = Petri.Conflict.cluster_of conflict t
-          && (not (Petri.Conflict.in_conflict conflict u t))
-          && World_set.exists (fun v -> World_set.mem v en.m_enab.(u)) en.m_enab.(t)
-        in
-        if Bitset.exists clashes kept then kept else Bitset.add t kept)
-      (Bitset.empty (Bitset.width multiples))
-      by_priority
-  in
-  let kept = fixpoint multiples in
-  let kept = if thorough && not (Bitset.is_empty kept) then serialize_same_cluster kept else kept in
-  if Bitset.is_empty kept && not (Bitset.is_empty multiples) && singles = [] then
-    (* Precedence cycle with nothing else to fire: serialize by firing
-       one transition alone.  The caller schedules restarts for the
-       skipped "other transition first" interleavings. *)
-    (Bitset.singleton (Bitset.width multiples) (Bitset.choose multiples), true)
-  else (kept, false)
-
-(* The transitions to fire from a state: all multiple-enabled choice
-   transitions with the multiple rule, plus all single-enabled
-   conflict-free transitions with the single rule, in one combined step
-   (candidate MCSs first, matching the order of the paper's algorithm). *)
-let successor_labels reduction ctx partner_pre ~thorough ~step en =
-  let net = Dynamics.net ctx in
-  let choice = Dynamics.choice_transitions ctx in
-  let n = net.Petri.Net.n_transitions in
-  let multiples = ref (Bitset.empty n) in
-  let singles = ref [] in
-  for t = n - 1 downto 0 do
-    if Bitset.mem t choice then begin
-      if not (World_set.is_empty en.m_enab.(t)) then multiples := Bitset.add t !multiples
-    end
-    else if not (World_set.is_empty en.s_enab.(t)) then singles := t :: !singles
-  done;
-  match reduction with
-  | Batched ->
-      if Bitset.is_empty !multiples && !singles = [] then ([], Bitset.empty n)
-      else begin
-        let fired, forced =
-          defer_unsafe_multiples ctx partner_pre en ~thorough !multiples !singles
-        in
-        let skipped = if forced then Bitset.diff !multiples fired else Bitset.empty n in
-        ([ { multiples = fired; singles = !singles } ], skipped)
-      end
-  | Stepwise ->
-      (* One conflict cluster per step (singles stay batched: they are
-         the uncontroversial part).  The cluster is picked by rotation
-         on the step counter, not lowest-first: a cyclic component must
-         not starve the others ("not postponed forever"). *)
-      if Bitset.is_empty !multiples && !singles = [] then ([], Bitset.empty n)
-      else if Bitset.is_empty !multiples then
-        ([ { multiples = Bitset.empty n; singles = !singles } ], Bitset.empty n)
-      else begin
-        let conflict = Dynamics.conflict ctx in
-        let cluster_ids =
-          Bitset.fold
-            (fun t acc ->
-              let c = Petri.Conflict.cluster_of conflict t in
-              if List.mem c acc then acc else c :: acc)
-            !multiples []
-          |> List.sort Int.compare
-        in
-        let picked = List.nth cluster_ids (step mod List.length cluster_ids) in
-        let fired =
-          Bitset.inter !multiples (Petri.Conflict.cluster_members conflict picked)
-        in
-        (* Rotation guarantees the other clusters fire in later steps;
-           the cycle-closure safety net covers the rest, so they are
-           not reported as skipped. *)
-        ([ { multiples = fired; singles = !singles } ], Bitset.empty n)
-      end
-
-let apply ctx s { multiples; singles } = Dynamics.step_fire ctx ~multiples ~singles s
-
-let debug = match Sys.getenv_opt "GPO_DEBUG" with Some _ -> true | None -> false
-
-(* Telemetry.  Counters mirror the result record exactly (asserted by
-   the test suite): [gpo.states] = [result.states], [gpo.restarts] =
-   [List.length result.runs - 1].  The worlds-per-state distribution
-   and the scan/fire spans only run with a sink installed — cardinal
-   and clock calls are not free, and the uninstrumented hot path must
-   stay within noise of the seed. *)
-let c_states = Gpo_obs.Counter.make "gpo.states"
-let c_edges = Gpo_obs.Counter.make "gpo.edges"
-let c_restarts = Gpo_obs.Counter.make "gpo.restarts"
-let c_witnesses = Gpo_obs.Counter.make "gpo.deadlock_witnesses"
-let c_deviations = Gpo_obs.Counter.make "gpo.deviations_scheduled"
-let d_worlds = Gpo_obs.Dist.make "gpo.worlds_per_state"
-
-let classical_successor (net : Petri.Net.t) marking t =
-  Bitset.union (Bitset.diff marking net.pre.(t)) net.post.(t)
-
-(* Deadlock-equivalence normal form: fire the lowest-index enabled
-   conflict-free transition until quiescence.  A conflict-free transition
-   owns its preset exclusively, so it can never be disabled: no deadlock
-   can be reached before it fires, and it commutes with every other
-   firing — markings equal up to such firings reach exactly the same
-   deadlocks.  The walk is deterministic; if it enters a cycle of
-   conflict-free firings, the smallest marking of the cycle is the
-   canonical representative. *)
-let normal_form ctx marking =
-  let net = Dynamics.net ctx in
-  let choice = Dynamics.choice_transitions ctx in
-  let next m =
-    let rec search t =
-      if t >= net.Petri.Net.n_transitions then None
-      else if (not (Bitset.mem t choice)) && Petri.Semantics.enabled net t m then Some t
-      else search (t + 1)
-    in
-    search 0
-  in
-  let seen = Marking_table.create 8 in
-  let rec walk m =
-    match next m with
-    | None -> m
-    | Some t ->
-        if Marking_table.mem seen m then begin
-          (* Cycle: walk it once more, collecting its markings. *)
-          let rec collect m' acc =
-            match next m' with
-            | None -> assert false
-            | Some t' ->
-                let m'' = classical_successor net m' t' in
-                if Bitset.equal m'' m then acc
-                else collect m'' (if Bitset.compare m'' acc < 0 then m'' else acc)
-          in
-          collect m m
-        end
-        else begin
-          Marking_table.add seen m ();
-          walk (classical_successor net m t)
-        end
-  in
-  walk marking
-
-let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
-    ?(max_states = 1_000_000) ?(max_deadlocks = 64) ctx =
-  let net = Dynamics.net ctx in
-  let choice = Dynamics.choice_transitions ctx in
-  let partner_pre = partner_presets ctx in
-  let roots_done = Marking_table.create 16 in
-  let pending = Queue.create () in
-  let seen_dead_markings = Marking_table.create 16 in
-  (* Every classical marking denoted by some world of some visited state:
-     that world's continued exploration (plus further deviation scans)
-     covers the marking's future, so deviations into these markings need
-     no restart. *)
-  let denoted_global = Marking_table.create 64 in
-  let edges = ref 0 in
-  let total_states = ref 0 in
-  let deadlocks = ref [] in
-  let witness_count = ref 0 in
-  let truncated = ref false in
-  let runs = ref [] in
-  Gpo_obs.Counter.touch c_states;
-  Gpo_obs.Counter.touch c_edges;
-  Gpo_obs.Counter.touch c_restarts;
-  Gpo_obs.Counter.touch c_witnesses;
-  let schedule ~key root origin =
-    (match origin with
-    | Init -> ()
-    | Deviation _ -> Gpo_obs.Counter.incr c_deviations);
-    if not (Marking_table.mem roots_done key) then begin
-      Marking_table.add roots_done key ();
-      Queue.add (root, origin) pending
-    end
-  in
-  schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
-  while not (Queue.is_empty pending) do
-    let root, origin = Queue.pop pending in
-    (match origin with
-    | Init -> ()
-    | Deviation _ -> Gpo_obs.Counter.incr c_restarts);
-    let run =
-      {
-        root;
-        origin;
-        initial = Dynamics.initial_of_marking ctx root;
-        predecessor = State.Table.create 64;
-        visited = State.Table.create 64;
-      }
-    in
-    runs := run :: !runs;
-    let visited = run.visited in
-    (* Both reductions produce at most one successor per state, so a run
-       is a path (possibly closing a cycle); we walk it carrying the
-       previous state's rejection sets to scan only deviations that are
-       new — a world that fires nothing keeps its tokens, hence its
-       pending rejections, and those were already covered or restarted
-       when they first appeared. *)
-    let n_transitions = net.Petri.Net.n_transitions in
-    let current = ref (Some (run.initial, Array.make n_transitions World_set.empty)) in
-    State.Table.add visited run.initial ();
-    incr total_states;
-    Gpo_obs.Counter.incr c_states;
-    while !current <> None do
-      let s, prev_rejections =
-        match !current with Some v -> v | None -> assert false
-      in
-      current := None;
-      let en = enabling ctx s in
-      if Gpo_obs.enabled () then begin
-        Gpo_obs.Dist.observe_int d_worlds (World_set.cardinal (State.valid s));
-        Gpo_obs.Progress.sample "gpo" (fun () ->
-            [
-              ("states", Gpo_obs.I !total_states);
-              ("edges", Gpo_obs.I !edges);
-              ("runs", Gpo_obs.I (List.length !runs));
-              ("queue_depth", Gpo_obs.I (Queue.length pending));
-              ("worlds", Gpo_obs.I (World_set.cardinal (State.valid s)));
-            ])
-      end;
-      if debug then
-        Format.eprintf "@[<v>STATE@ %a@]@." (State.pp net) s;
-      (* Deadlock worlds: valid worlds enabling nothing. *)
-      let live =
-        Array.fold_left World_set.union World_set.empty en.s_enab
-      in
-      let dead = World_set.diff (State.valid s) live in
-      if not (World_set.is_empty dead) then begin
-        let fresh_markings =
-          World_set.fold
-            (fun v acc ->
-              let m = State.denoted_marking s v in
-              if Marking_table.mem seen_dead_markings m then acc
-              else begin
-                Marking_table.add seen_dead_markings m ();
-                m :: acc
-              end)
-            dead []
-        in
-        if fresh_markings <> [] && !witness_count < max_deadlocks then begin
-          incr witness_count;
-          Gpo_obs.Counter.incr c_witnesses;
-          deadlocks := { run; state = s; worlds = dead; markings = fresh_markings } :: !deadlocks
-        end
-      end;
-      (* Deviation scan: a world whose denoted marking enables a choice
-         transition its label rejected must have that branch covered by
-         a sibling world, or the analysis restarts from the deviating
-         marking. *)
-      let denotation_cache = Hashtbl.create 32 in
-      let denote v =
-        match Hashtbl.find_opt denotation_cache v with
-        | Some m -> m
-        | None ->
-            let m = State.denoted_marking s v in
-            Hashtbl.add denotation_cache v m;
-            m
-      in
-      let nf_cache = Hashtbl.create 32 in
-      let nf_denote v =
-        match Hashtbl.find_opt nf_cache v with
-        | Some m -> m
-        | None ->
-            let m = normal_form ctx (denote v) in
-            Hashtbl.add nf_cache v m;
-            m
-      in
-      let sp_scan = Gpo_obs.Span.enter "gpo.scan" in
-      if scan then
-        World_set.iter
-          (fun v -> Marking_table.replace denoted_global (nf_denote v) ())
-          (State.valid s);
-      let rejections = Array.make n_transitions World_set.empty in
-      if scan then
-      Bitset.iter
-        (fun t ->
-          rejections.(t) <- World_set.diff en.s_enab.(t) en.m_enab.(t);
-          let rejecting = World_set.diff rejections.(t) prev_rejections.(t) in
-          if not (World_set.is_empty rejecting) then begin
-            (* Denotations of the worlds about to fire [t] this step:
-               their post-firing markings are not yet in the global
-               table, so cover them by pre-firing equality. *)
-            let firing_denotations = lazy begin
-              let table = Marking_table.create 8 in
-              World_set.iter
-                (fun u -> Marking_table.replace table (nf_denote u) ())
-                en.m_enab.(t);
-              table
-            end in
-            World_set.iter
-              (fun v ->
-                if not (Marking_table.mem (Lazy.force firing_denotations) (nf_denote v))
-                then begin
-                  let m_t = classical_successor net (denote v) t in
-                  let key = normal_form ctx m_t in
-                  if debug then
-                    Format.eprintf "DEVIATION t=%s m_t=%a covered=%b@."
-                      (Net'.transition_name net t) (Net'.pp_marking net) m_t
-                      (Marking_table.mem denoted_global key);
-                  if not (Marking_table.mem denoted_global key) then
-                    schedule ~key m_t
-                      (Deviation { parent = run; state = s; world = v; transition = t })
-                end)
-              rejecting
-          end)
-        choice;
-      Gpo_obs.Span.exit sp_scan;
-      (* Fire: at most one label per state.  A rejection is carried to
-         the next state only for worlds that did not fire in this step:
-         a world that moved has a new denotation, so its pending
-         rejections must be re-scanned there. *)
-      let sp_fire = Gpo_obs.Span.enter "gpo.fire" in
-      let labels, skipped =
-        successor_labels reduction ctx partner_pre ~thorough ~step:!edges en
-      in
-      (* Firing order was forced against the safe precedence (or a
-         cluster was fired ahead of others in Stepwise mode): cover the
-         "skipped transition first" interleavings by restarting from
-         their firing markings. *)
-      if scan then
-        Bitset.iter
-          (fun w ->
-            World_set.iter
-              (fun v ->
-                let m_w = classical_successor net (denote v) w in
-                let key = normal_form ctx m_w in
-                if not (Marking_table.mem denoted_global key) then
-                  schedule ~key m_w
-                    (Deviation { parent = run; state = s; world = v; transition = w }))
-              en.m_enab.(w))
-          skipped;
-      List.iter
-        (fun label ->
-          if debug then
-            Format.eprintf "FIRE multiples=%a singles=%a@."
-              (Net'.pp_transition_set net) label.multiples
-              (Format.pp_print_list (fun ppf t ->
-                 Format.pp_print_string ppf (Net'.transition_name net t))) label.singles;
-          let s' = apply ctx s label in
-          incr edges;
-          Gpo_obs.Counter.incr c_edges;
-          if State.Table.mem visited s' then begin
-            if scan then begin
-            (* Cycle closure: a transition postponed on every step of
-               the cycle would otherwise never fire — restart from its
-               firing markings (usually redundant and deduplicated;
-               sound either way).  Covers both deferred multiples and,
-               in Stepwise mode, the unfired singles. *)
-            let fire_worlds t =
-              if Bitset.mem t choice then
-                if Bitset.mem t label.multiples then World_set.empty
-                else en.m_enab.(t)
-              else if List.mem t label.singles then World_set.empty
-              else en.s_enab.(t)
-            in
-            (* Unlike the in-run deviation scan, these restarts must not
-               be suppressed by the global denotation table: the table's
-               premise — that a denoted marking's future is explored by
-               its world — is exactly what the closing cycle violated.
-               The root memoization still deduplicates. *)
-            for t = 0 to net.Petri.Net.n_transitions - 1 do
-              World_set.iter
-                (fun v ->
-                  let m_t = classical_successor net (denote v) t in
-                  schedule ~key:(normal_form ctx m_t) m_t
-                    (Deviation { parent = run; state = s; world = v; transition = t }))
-                (fire_worlds t)
-            done
-            end
-          end
-          else begin
-            if !total_states >= max_states then truncated := true
-            else begin
-              let moved =
-                List.fold_left
-                  (fun acc t -> World_set.union acc en.s_enab.(t))
-                  (Bitset.fold
-                     (fun t acc -> World_set.union acc en.m_enab.(t))
-                     label.multiples World_set.empty)
-                  label.singles
-              in
-              let carried = Array.map (fun ws -> World_set.diff ws moved) rejections in
-              State.Table.add visited s' ();
-              incr total_states;
-              Gpo_obs.Counter.incr c_states;
-              State.Table.add run.predecessor s' (label, s);
-              current := Some (s', carried)
-            end
-          end)
-        labels;
-      Gpo_obs.Span.exit sp_fire
-    done
-  done;
-  {
-    ctx;
-    states = !total_states;
-    edges = !edges;
-    runs = List.rev !runs;
-    deadlocks = List.rev !deadlocks;
-    truncated = !truncated;
-  }
-
-let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks net =
-  explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks (Dynamics.make net)
-
-let deadlock_free result = result.deadlocks = []
-
-(* Transitions fired by world [v] along the run's path from its initial
-   state to [target]. *)
-let replay_in_world ctx run v target =
-  let rec path s acc =
-    match State.Table.find_opt run.predecessor s with
-    | None -> acc
-    | Some (label, s_prev) -> path s_prev ((s_prev, label) :: acc)
-  in
-  let steps = path target [] in
-  List.concat_map
-    (fun (s, label) ->
-      let fired_multiples =
-        Bitset.fold
-          (fun t acc ->
-            if World_set.mem v (Dynamics.m_enabled ctx t s) then t :: acc else acc)
-          label.multiples []
-        |> List.rev
-      in
-      let fired_singles =
-        List.filter (fun t -> World_set.mem v (Dynamics.s_enabled ctx t s)) label.singles
-      in
-      fired_multiples @ fired_singles)
-    steps
-
-(* Classical trace from the net's initial marking to the run's root. *)
-let rec root_trace ctx run =
-  match run.origin with
-  | Init -> []
-  | Deviation { parent; state; world; transition } ->
-      root_trace ctx parent @ replay_in_world ctx parent world state @ [ transition ]
-
-let deadlock_trace result witness =
-  let ctx = result.ctx in
-  let v = World_set.choose witness.worlds in
-  root_trace ctx witness.run @ replay_in_world ctx witness.run v witness.state
-
-let pp_summary ppf result =
-  Format.fprintf ppf "%s (GPO): %d states, %d edges, %d run(s), %s%s"
-    (Dynamics.net result.ctx).Petri.Net.name result.states result.edges
-    (List.length result.runs)
-    (if result.deadlocks = [] then "deadlock free"
-     else Printf.sprintf "%d deadlock witness(es)" (List.length result.deadlocks))
-    (if result.truncated then " (truncated)" else "")
+(* Re-export of the default engine's explorer (hash-consed world sets).
+   The implementation lives in [Core.Make]; see core.ml. *)
+include Core.Hashconsed.Explorer

@@ -1,69 +1,3 @@
-type t = { m : World_set.t array; r : World_set.t }
-
-let make m r = { m = Array.map (fun ws -> World_set.inter ws r) m; r }
-
-let marking s p = s.m.(p)
-let valid s = s.r
-
-let equal a b =
-  World_set.equal a.r b.r
-  && Array.length a.m = Array.length b.m
-  && Array.for_all2 World_set.equal a.m b.m
-
-let compare a b =
-  let c = World_set.compare a.r b.r in
-  if c <> 0 then c
-  else begin
-    let n = Array.length a.m and n' = Array.length b.m in
-    let c = Int.compare n n' in
-    if c <> 0 then c
-    else begin
-      let rec loop i =
-        if i >= n then 0
-        else begin
-          let c = World_set.compare a.m.(i) b.m.(i) in
-          if c <> 0 then c else loop (i + 1)
-        end
-      in
-      loop 0
-    end
-  end
-
-let hash s =
-  Array.fold_left
-    (fun acc ws -> (acc * 486187739) + World_set.hash ws)
-    (World_set.hash s.r) s.m
-
-let denoted_marking s v =
-  let n_places = Array.length s.m in
-  let rec loop p acc =
-    if p < 0 then acc
-    else loop (p - 1) (if World_set.mem v s.m.(p) then Petri.Bitset.add p acc else acc)
-  in
-  loop (n_places - 1) (Petri.Bitset.empty n_places)
-
-let mapping s =
-  World_set.fold
-    (fun v acc ->
-      let m = denoted_marking s v in
-      if List.exists (Petri.Bitset.equal m) acc then acc else m :: acc)
-    s.r []
-  |> List.sort Petri.Bitset.compare
-
-let pp (net : Petri.Net.t) ppf s =
-  let name = Petri.Net.transition_name net in
-  Format.fprintf ppf "@[<v>";
-  Array.iteri
-    (fun p ws ->
-      if not (World_set.is_empty ws) then
-        Format.fprintf ppf "%s: %a@ " (Petri.Net.place_name net p)
-          (World_set.pp ~name ()) ws)
-    s.m;
-  Format.fprintf ppf "r: %a@]" (World_set.pp ~name ()) s.r
-
-module Table = Hashtbl.Make (struct
-  type nonrec t = t
-
-  let equal = equal
-  let hash = hash
-end)
+(* Re-export of the default engine's states (hash-consed world sets).
+   The implementation lives in [Core.Make]; see core.ml. *)
+include Core.Hashconsed.State

@@ -1,55 +1,448 @@
-module S = Set.Make (Petri.Bitset)
+(* Hash-consed world sets.
 
-type t = S.t
-type world = Petri.Bitset.t
+   A world set is a big-endian Patricia trie over the interning ids of
+   its member worlds (every inserted world is canonicalized through
+   [Petri.Bitset.intern] first).  Trie nodes are themselves hash-consed
+   through a weak unique table, so:
 
-let empty = S.empty
-let is_empty = S.is_empty
-let singleton = S.singleton
-let add = S.add
-let mem = S.mem
-let union = S.union
-let inter = S.inter
-let diff = S.diff
-let subset = S.subset
-let equal = S.equal
-let compare = S.compare
+   - structurally equal sets are physically equal ([equal] is [==]);
+   - [hash] and [compare] read a stored per-node id (O(1));
+   - [cardinal] is stored in every branch (O(1));
+   - the set algebra ([union]/[inter]/[diff]/[filter_member]) is
+     memoized in bounded caches keyed on node-id pairs, with
+     pointer-equality short-circuits ([union x x = x], and rebuilds
+     that reproduce an operand — the subset cases — return the operand
+     itself without allocating).
 
-let hash ws =
-  (* Set iteration is in increasing element order, so this is a
-     deterministic function of the set's contents. *)
-  S.fold (fun w acc -> (acc * 486187739) + Petri.Bitset.hash w) ws 0x9e3779b9
+   The unique table is weak: nodes unreachable from any live state are
+   reclaimed by the GC, so long exploration runs do not accumulate
+   garbage canonical forms.  Memo caches are strong but bounded — when
+   a cache reaches its bound it is dropped wholesale (the next misses
+   rebuild the useful entries).  Node ids are never reused, so stale
+   cache entries keyed on collected nodes can only miss, never alias.
 
-let cardinal = S.cardinal
+   The previous balanced-tree representation is kept verbatim in
+   {!World_set_tree}; both satisfy {!World_set_intf.S} and are compared
+   head-to-head by the ablation bench and the equivalence suite. *)
 
-let choose ws = try S.min_elt ws with Not_found -> raise Not_found
+module B = Petri.Bitset
 
-let filter = S.filter
-let filter_member t ws = S.filter (fun w -> Petri.Bitset.mem t w) ws
-let iter = S.iter
-let fold = S.fold
-let for_all = S.for_all
-let exists = S.exists
-let elements = S.elements
-let of_list worlds = List.fold_left (fun acc w -> S.add w acc) S.empty worlds
+type world = B.t
+
+type t =
+  | Empty
+  | Leaf of { w : world; key : int; uid : int }
+  | Branch of { prefix : int; bit : int; l : t; r : t; uid : int; card : int }
+
+let uid = function Empty -> 0 | Leaf l -> l.uid | Branch b -> b.uid
+let cardinal = function Empty -> 0 | Leaf _ -> 1 | Branch b -> b.card
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+
+module Node_hash = struct
+  type nonrec t = t
+
+  (* Children are already canonical when a candidate is built, so
+     physical equality on them decides structural equality. *)
+  let equal a b =
+    match (a, b) with
+    | Leaf x, Leaf y -> x.key = y.key
+    | Branch x, Branch y ->
+        x.prefix = y.prefix && x.bit = y.bit && x.l == y.l && x.r == y.r
+    | _ -> false
+
+  let hash = function
+    | Empty -> 0
+    | Leaf x -> (x.key * 2654435761) land max_int
+    | Branch x ->
+        ((((x.prefix * 486187739) + x.bit) * 486187739 + uid x.l) * 486187739
+        + uid x.r)
+        land max_int
+end
+
+module Unique = Weak.Make (Node_hash)
+
+let unique = Unique.create 4096
+let next_uid = ref 1
+
+let fresh_uid () =
+  let u = !next_uid in
+  incr next_uid;
+  u
+
+let c_nodes = Gpo_obs.Counter.make "worldset.unique_nodes"
+
+let hashcons node =
+  let r = Unique.merge unique node in
+  if r == node then Gpo_obs.Counter.incr c_nodes;
+  r
+
+let leaf w =
+  let w = B.intern w in
+  hashcons (Leaf { w; key = B.id w; uid = fresh_uid () })
+
+let branch prefix bit l r =
+  hashcons
+    (Branch { prefix; bit; l; r; uid = fresh_uid (); card = cardinal l + cardinal r })
+
+(* Like [branch] but tolerates children emptied by [diff]/[filter]. *)
+let branch0 prefix bit l r =
+  match (l, r) with Empty, t | t, Empty -> t | _ -> branch prefix bit l r
+
+(* ------------------------------------------------------------------ *)
+(* Memo caches                                                         *)
+
+let cache_bound = 1 lsl 17
+
+let cache_store tbl key v =
+  if Hashtbl.length tbl >= cache_bound then Hashtbl.reset tbl;
+  Hashtbl.add tbl key v
+
+(* Node ids fit in 31 bits for any realistic run (2^31 allocations);
+   two of them pack into one 62-bit key, eliminating tuple allocation
+   on the probe path. *)
+let pack a b = (a lsl 31) lor b
+let pack_comm a b = if a <= b then (a lsl 31) lor b else (b lsl 31) lor a
+
+let union_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
+let inter_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
+let diff_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
+let filter_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
+
+let c_union_hit = Gpo_obs.Counter.make "worldset.union.cache_hit"
+let c_union_miss = Gpo_obs.Counter.make "worldset.union.cache_miss"
+let c_inter_hit = Gpo_obs.Counter.make "worldset.inter.cache_hit"
+let c_inter_miss = Gpo_obs.Counter.make "worldset.inter.cache_miss"
+let c_diff_hit = Gpo_obs.Counter.make "worldset.diff.cache_hit"
+let c_diff_miss = Gpo_obs.Counter.make "worldset.diff.cache_miss"
+let c_filter_hit = Gpo_obs.Counter.make "worldset.filter.cache_hit"
+let c_filter_miss = Gpo_obs.Counter.make "worldset.filter.cache_miss"
+
+let touch_stats () =
+  Gpo_obs.Counter.touch c_nodes;
+  Gpo_obs.Counter.touch c_union_hit;
+  Gpo_obs.Counter.touch c_union_miss;
+  Gpo_obs.Counter.touch c_inter_hit;
+  Gpo_obs.Counter.touch c_inter_miss;
+  Gpo_obs.Counter.touch c_diff_hit;
+  Gpo_obs.Counter.touch c_diff_miss;
+  Gpo_obs.Counter.touch c_filter_hit;
+  Gpo_obs.Counter.touch c_filter_miss
+
+(* ------------------------------------------------------------------ *)
+(* Big-endian Patricia plumbing (Okasaki & Gill; Filliâtre's Ptset).
+   Keys are the non-negative interning ids of the member worlds.       *)
+
+let zero_bit k m = k land m = 0
+
+(* Bits strictly above [m]. *)
+let mask k m = k land lnot ((m lsl 1) - 1)
+let match_prefix k p m = mask k m = p
+
+let highest_bit x =
+  let x = x lor (x lsr 1) in
+  let x = x lor (x lsr 2) in
+  let x = x lor (x lsr 4) in
+  let x = x lor (x lsr 8) in
+  let x = x lor (x lsr 16) in
+  let x = x lor (x lsr 32) in
+  x - (x lsr 1)
+
+let branching_bit p0 p1 = highest_bit (p0 lxor p1)
+
+let join p0 t0 p1 t1 =
+  let m = branching_bit p0 p1 in
+  if zero_bit p0 m then branch (mask p0 m) m t0 t1 else branch (mask p0 m) m t1 t0
+
+let rec mem_key k = function
+  | Empty -> false
+  | Leaf { key; _ } -> key = k
+  | Branch { prefix; bit; l; r; _ } ->
+      match_prefix k prefix bit && mem_key k (if zero_bit k bit then l else r)
+
+(* [lf] is an already-consed leaf, reused physically. *)
+let rec insert lf t =
+  let k = match lf with Leaf { key; _ } -> key | _ -> assert false in
+  match t with
+  | Empty -> lf
+  | Leaf { key = j; _ } -> if j = k then t else join k lf j t
+  | Branch { prefix = p; bit = m; l; r; _ } ->
+      if match_prefix k p m then
+        if zero_bit k m then begin
+          let l' = insert lf l in
+          if l' == l then t else branch p m l' r
+        end
+        else begin
+          let r' = insert lf r in
+          if r' == r then t else branch p m l r'
+        end
+      else join k lf p t
+
+let rec remove_key k t =
+  match t with
+  | Empty -> Empty
+  | Leaf { key; _ } -> if key = k then Empty else t
+  | Branch { prefix; bit; l; r; _ } ->
+      if match_prefix k prefix bit then
+        if zero_bit k bit then begin
+          let l' = remove_key k l in
+          if l' == l then t else branch0 prefix bit l' r
+        end
+        else begin
+          let r' = remove_key k r in
+          if r' == r then t else branch0 prefix bit l r'
+        end
+      else t
+
+(* ------------------------------------------------------------------ *)
+(* Set algebra                                                         *)
+
+let rec union s t =
+  if s == t then s
+  else
+    match (s, t) with
+    | Empty, x | x, Empty -> x
+    | (Leaf _ as lf), t -> insert lf t
+    | s, (Leaf _ as lf) -> insert lf s
+    | Branch sb, Branch tb -> begin
+        let key = pack_comm sb.uid tb.uid in
+        match Hashtbl.find_opt union_cache key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_union_hit;
+            r
+        | None ->
+            Gpo_obs.Counter.incr c_union_miss;
+            let r =
+              if sb.bit = tb.bit && sb.prefix = tb.prefix then begin
+                let l = union sb.l tb.l and r' = union sb.r tb.r in
+                if l == sb.l && r' == sb.r then s
+                else if l == tb.l && r' == tb.r then t
+                else branch sb.prefix sb.bit l r'
+              end
+              else if sb.bit > tb.bit && match_prefix tb.prefix sb.prefix sb.bit
+              then
+                if zero_bit tb.prefix sb.bit then begin
+                  let l = union sb.l t in
+                  if l == sb.l then s else branch sb.prefix sb.bit l sb.r
+                end
+                else begin
+                  let r' = union sb.r t in
+                  if r' == sb.r then s else branch sb.prefix sb.bit sb.l r'
+                end
+              else if tb.bit > sb.bit && match_prefix sb.prefix tb.prefix tb.bit
+              then
+                if zero_bit sb.prefix tb.bit then begin
+                  let l = union s tb.l in
+                  if l == tb.l then t else branch tb.prefix tb.bit l tb.r
+                end
+                else begin
+                  let r' = union s tb.r in
+                  if r' == tb.r then t else branch tb.prefix tb.bit tb.l r'
+                end
+              else join sb.prefix s tb.prefix t
+            in
+            cache_store union_cache key r;
+            r
+      end
+
+let rec inter s t =
+  if s == t then s
+  else
+    match (s, t) with
+    | Empty, _ | _, Empty -> Empty
+    | (Leaf { key; _ } as lf), t -> if mem_key key t then lf else Empty
+    | s, (Leaf { key; _ } as lf) -> if mem_key key s then lf else Empty
+    | Branch sb, Branch tb -> begin
+        let key = pack_comm sb.uid tb.uid in
+        match Hashtbl.find_opt inter_cache key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_inter_hit;
+            r
+        | None ->
+            Gpo_obs.Counter.incr c_inter_miss;
+            let r =
+              if sb.bit = tb.bit && sb.prefix = tb.prefix then begin
+                let l = inter sb.l tb.l and r' = inter sb.r tb.r in
+                (* Subset detection: a rebuild that reproduces an operand
+                   returns it physically. *)
+                if l == sb.l && r' == sb.r then s
+                else if l == tb.l && r' == tb.r then t
+                else branch0 sb.prefix sb.bit l r'
+              end
+              else if sb.bit > tb.bit && match_prefix tb.prefix sb.prefix sb.bit
+              then inter (if zero_bit tb.prefix sb.bit then sb.l else sb.r) t
+              else if tb.bit > sb.bit && match_prefix sb.prefix tb.prefix tb.bit
+              then inter s (if zero_bit sb.prefix tb.bit then tb.l else tb.r)
+              else Empty
+            in
+            cache_store inter_cache key r;
+            r
+      end
+
+let rec diff s t =
+  if s == t then Empty
+  else
+    match (s, t) with
+    | Empty, _ -> Empty
+    | s, Empty -> s
+    | (Leaf { key; _ } as lf), t -> if mem_key key t then Empty else lf
+    | s, Leaf { key; _ } -> remove_key key s
+    | Branch sb, Branch tb -> begin
+        let key = pack sb.uid tb.uid in
+        match Hashtbl.find_opt diff_cache key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_diff_hit;
+            r
+        | None ->
+            Gpo_obs.Counter.incr c_diff_miss;
+            let r =
+              if sb.bit = tb.bit && sb.prefix = tb.prefix then begin
+                let l = diff sb.l tb.l and r' = diff sb.r tb.r in
+                if l == sb.l && r' == sb.r then s else branch0 sb.prefix sb.bit l r'
+              end
+              else if sb.bit > tb.bit && match_prefix tb.prefix sb.prefix sb.bit
+              then
+                if zero_bit tb.prefix sb.bit then begin
+                  let l = diff sb.l t in
+                  if l == sb.l then s else branch0 sb.prefix sb.bit l sb.r
+                end
+                else begin
+                  let r' = diff sb.r t in
+                  if r' == sb.r then s else branch0 sb.prefix sb.bit sb.l r'
+                end
+              else if tb.bit > sb.bit && match_prefix sb.prefix tb.prefix tb.bit
+              then diff s (if zero_bit sb.prefix tb.bit then tb.l else tb.r)
+              else s
+            in
+            cache_store diff_cache key r;
+            r
+      end
+
+let rec subset s t =
+  s == t
+  ||
+  match (s, t) with
+  | Empty, _ -> true
+  | _, Empty -> false
+  | Leaf { key; _ }, t -> mem_key key t
+  | Branch _, Leaf _ -> false
+  | Branch sb, Branch tb ->
+      if sb.bit = tb.bit && sb.prefix = tb.prefix then
+        subset sb.l tb.l && subset sb.r tb.r
+      else if sb.bit < tb.bit && match_prefix sb.prefix tb.prefix tb.bit then
+        subset s (if zero_bit sb.prefix tb.bit then tb.l else tb.r)
+      else false
+
+let filter_member tr s =
+  let rec go s =
+    match s with
+    | Empty -> Empty
+    | Leaf { w; _ } -> if B.mem tr w then s else Empty
+    | Branch b -> begin
+        let key = pack tr b.uid in
+        match Hashtbl.find_opt filter_cache key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_filter_hit;
+            r
+        | None ->
+            Gpo_obs.Counter.incr c_filter_miss;
+            let l = go b.l and r' = go b.r in
+            let r = if l == b.l && r' == b.r then s else branch0 b.prefix b.bit l r' in
+            cache_store filter_cache key r;
+            r
+      end
+  in
+  go s
+
+(* ------------------------------------------------------------------ *)
+(* The rest of the signature                                           *)
+
+let empty = Empty
+let is_empty = function Empty -> true | _ -> false
+let singleton w = leaf w
+let add w t = insert (leaf w) t
+
+let mem w t =
+  match t with Empty -> false | _ -> mem_key (B.id (B.intern w)) t
+
+let equal a b = a == b
+let compare a b = Int.compare (uid a) (uid b)
+let hash t = (uid t * 2654435761) land max_int
+
+let rec choose = function
+  | Empty -> raise Not_found
+  | Leaf { w; _ } -> w
+  | Branch { l; _ } -> choose l
+
+let filter p t =
+  let rec go t =
+    match t with
+    | Empty -> Empty
+    | Leaf { w; _ } -> if p w then t else Empty
+    | Branch b ->
+        let l = go b.l and r = go b.r in
+        if l == b.l && r == b.r then t else branch0 b.prefix b.bit l r
+  in
+  go t
+
+let rec iter f = function
+  | Empty -> ()
+  | Leaf { w; _ } -> f w
+  | Branch { l; r; _ } ->
+      iter f l;
+      iter f r
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Leaf { w; _ } -> f w acc
+  | Branch { l; r; _ } -> fold f r (fold f l acc)
+
+let rec for_all p = function
+  | Empty -> true
+  | Leaf { w; _ } -> p w
+  | Branch { l; r; _ } -> for_all p l && for_all p r
+
+let rec exists p = function
+  | Empty -> false
+  | Leaf { w; _ } -> p w
+  | Branch { l; r; _ } -> exists p l || exists p r
+
+let elements t =
+  (* Trie order is interning order; sort so both representations list
+     elements identically (and [pp] stays deterministic). *)
+  List.sort B.compare (fold (fun w acc -> w :: acc) t [])
+
+let of_list worlds = List.fold_left (fun acc w -> add w acc) Empty worlds
 
 let inter_all = function
   | [] -> invalid_arg "World_set.inter_all: empty list"
   | first :: rest -> List.fold_left inter first rest
 
 let product width factors =
-  let seed = singleton (Petri.Bitset.empty width) in
+  let seed = singleton (B.empty width) in
   let extend acc factor =
     fold
-      (fun prefix out ->
-        fold (fun w out -> add (Petri.Bitset.union prefix w) out) factor out)
-      acc empty
+      (fun prefix out -> fold (fun w out -> add (B.union prefix w) out) factor out)
+      acc Empty
   in
   List.fold_left extend seed factors
+
+let fast_identity = true
 
 let pp ?name () ppf ws =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-       (Petri.Bitset.pp ?name ()))
+       (B.pp ?name ()))
     (elements ws)
+
+(* Exposed for the micro-bench and tests. *)
+let unique_nodes () = Unique.count unique
+
+let clear_caches () =
+  Hashtbl.reset union_cache;
+  Hashtbl.reset inter_cache;
+  Hashtbl.reset diff_cache;
+  Hashtbl.reset filter_cache

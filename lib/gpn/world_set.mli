@@ -1,63 +1,24 @@
 (** Sets of transition sets — the markings of Generalized Petri Nets.
 
-    A {e world} is a transition set ([Petri.Bitset.t] over transitions):
-    a complete pre-resolution of every conflict cluster of the net (a
-    "color" in the intuition of Section 3.1 of the paper, a {e valid
-    transition set} in Definition 3.1).  A [World_set.t] is a set of
-    worlds: both the content [m(p)] of a GPN place and the valid-set
-    component [r] of a GPN state are world sets.
+    This is the default, hash-consed representation: a big-endian
+    Patricia trie over the interning ids ({!Petri.Bitset.id}) of its
+    member worlds, with trie nodes canonicalized through a weak unique
+    table.  Structurally equal sets are physically equal, [hash] and
+    [cardinal] are O(1), and the set algebra is memoized in bounded
+    caches keyed on node ids.  See DESIGN.md, "The interning layer".
 
-    This module is deliberately abstract so the representation can be
-    swapped (the default is a balanced tree of bit sets; an alternative
-    shared/hash-consed representation is benchmarked in the ablation
-    suite). *)
+    The previous balanced-tree representation survives as
+    {!World_set_tree}; both implement {!World_set_intf.S} and the GPN
+    engine ({!Core.Make}) is a functor over that signature, so the
+    ablation bench and the equivalence suite can run the two
+    head-to-head. *)
 
-type t
+include World_set_intf.S
 
-type world = Petri.Bitset.t
+val unique_nodes : unit -> int
+(** Live nodes in the weak unique table (collected nodes excluded). *)
 
-val empty : t
-val is_empty : t -> bool
-val singleton : world -> t
-val add : world -> t -> t
-val mem : world -> t -> bool
-val union : t -> t -> t
-val inter : t -> t -> t
-val diff : t -> t -> t
-val subset : t -> t -> bool
-val equal : t -> t -> bool
-val compare : t -> t -> int
-
-val hash : t -> int
-(** Compatible with {!equal}. *)
-
-val cardinal : t -> int
-val choose : t -> world
-(** Some element; raises [Not_found] on the empty set. *)
-
-val filter : (world -> bool) -> t -> t
-
-val filter_member : int -> t -> t
-(** [filter_member t ws] keeps the worlds containing transition [t] —
-    the core of the multiple enabling rule (Definition 3.5). *)
-
-val iter : (world -> unit) -> t -> unit
-val fold : (world -> 'a -> 'a) -> t -> 'a -> 'a
-val for_all : (world -> bool) -> t -> bool
-val exists : (world -> bool) -> t -> bool
-val elements : t -> world list
-val of_list : world list -> t
-
-val inter_all : t list -> t
-(** Intersection of a non-empty list of world sets; raises
-    [Invalid_argument] on the empty list. *)
-
-val product : int -> t list -> t
-(** [product width factors] is the set of unions [w1 ∪ ... ∪ wk] for
-    every choice of [wi] in the [i]-th factor — used to build the
-    initial valid sets [r0] as the product of per-cluster alternatives.
-    [width] is the bit-set width used when [factors] is empty (the
-    result is then the singleton of the empty world). *)
-
-val pp : ?name:(int -> string) -> unit -> Format.formatter -> t -> unit
-(** Pretty-print as [{{a,b},{c}}] with element names. *)
+val clear_caches : unit -> unit
+(** Drop the four memo caches (union/inter/diff/filter_member).
+    Canonical forms are unaffected; used by benchmarks to measure cold
+    starts. *)

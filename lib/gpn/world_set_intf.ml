@@ -1,0 +1,85 @@
+(** The signature of world-set representations.
+
+    A {e world} is a transition set ([Petri.Bitset.t] over transitions):
+    a complete pre-resolution of every conflict cluster of the net (a
+    "color" in the intuition of Section 3.1 of the paper, a {e valid
+    transition set} in Definition 3.1).  A world set is a set of worlds:
+    both the content [m(p)] of a GPN place and the valid-set component
+    [r] of a GPN state are world sets.
+
+    The GPN engine ({!Core.Make}) is a functor over this signature so
+    that representations can be compared head-to-head by the ablation
+    bench and the equivalence test suite.  Two implementations exist:
+
+    - {!World_set} — hash-consed Patricia tries over interned world
+      ids, with memoized set algebra (the default);
+    - {!World_set_tree} — the original balanced tree of bit sets kept
+      as the ablation baseline. *)
+
+module type S = sig
+  type t
+
+  type world = Petri.Bitset.t
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : world -> t
+  val add : world -> t -> t
+  val mem : world -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val hash : t -> int
+  (** Compatible with {!equal}. *)
+
+  val cardinal : t -> int
+
+  val choose : t -> world
+  (** Some element; raises [Not_found] on the empty set. *)
+
+  val filter : (world -> bool) -> t -> t
+
+  val filter_member : int -> t -> t
+  (** [filter_member t ws] keeps the worlds containing transition [t] —
+      the core of the multiple enabling rule (Definition 3.5). *)
+
+  val iter : (world -> unit) -> t -> unit
+  val fold : (world -> 'a -> 'a) -> t -> 'a -> 'a
+  val for_all : (world -> bool) -> t -> bool
+  val exists : (world -> bool) -> t -> bool
+
+  val elements : t -> world list
+  (** Elements in increasing {!Petri.Bitset.compare} order (both
+      representations agree, which the equivalence suite relies on). *)
+
+  val of_list : world list -> t
+
+  val inter_all : t list -> t
+  (** Intersection of a non-empty list of world sets; raises
+      [Invalid_argument] on the empty list. *)
+
+  val product : int -> t list -> t
+  (** [product width factors] is the set of unions [w1 ∪ ... ∪ wk] for
+      every choice of [wi] in the [i]-th factor — used to build the
+      initial valid sets [r0] as the product of per-cluster
+      alternatives.  [width] is the bit-set width used when [factors]
+      is empty (the result is then the singleton of the empty world). *)
+
+  val fast_identity : bool
+  (** [true] when {!equal} and {!hash} are (near-)constant-time — i.e.
+      the representation is canonical enough that keying caches on
+      whole world sets is cheap.  The engine gates its own memo layers
+      on this so the tree baseline is measured unpolluted. *)
+
+  val touch_stats : unit -> unit
+  (** Mark the representation's telemetry counters active so they
+      appear in snapshots even at zero (no-op for representations
+      without counters). *)
+
+  val pp : ?name:(int -> string) -> unit -> Format.formatter -> t -> unit
+  (** Pretty-print as [{{a,b},{c}}] with element names. *)
+end

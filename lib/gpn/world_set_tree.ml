@@ -1,0 +1,64 @@
+(* The original world-set representation: a balanced tree of bit sets
+   ([Set.Make] over [Petri.Bitset]).  Kept as the ablation baseline for
+   the hash-consed default ({!World_set}); the bench suite runs the GPN
+   engine over both and records the head-to-head times in
+   [BENCH_ablation.json]. *)
+
+module S = Set.Make (Petri.Bitset)
+
+type t = S.t
+type world = Petri.Bitset.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let add = S.add
+let mem = S.mem
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let compare = S.compare
+
+let hash ws =
+  (* Set iteration is in increasing element order, so this is a
+     deterministic function of the set's contents. *)
+  S.fold (fun w acc -> (acc * 486187739) + Petri.Bitset.hash w) ws 0x9e3779b9
+
+let cardinal = S.cardinal
+
+let choose ws = try S.min_elt ws with Not_found -> raise Not_found
+
+let filter = S.filter
+let filter_member t ws = S.filter (fun w -> Petri.Bitset.mem t w) ws
+let iter = S.iter
+let fold = S.fold
+let for_all = S.for_all
+let exists = S.exists
+let elements = S.elements
+let of_list worlds = List.fold_left (fun acc w -> S.add w acc) S.empty worlds
+
+let inter_all = function
+  | [] -> invalid_arg "World_set.inter_all: empty list"
+  | first :: rest -> List.fold_left inter first rest
+
+let product width factors =
+  let seed = singleton (Petri.Bitset.empty width) in
+  let extend acc factor =
+    fold
+      (fun prefix out ->
+        fold (fun w out -> add (Petri.Bitset.union prefix w) out) factor out)
+      acc empty
+  in
+  List.fold_left extend seed factors
+
+let fast_identity = false
+let touch_stats () = ()
+
+let pp ?name () ppf ws =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (Petri.Bitset.pp ?name ()))
+    (elements ws)

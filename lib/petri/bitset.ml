@@ -1,20 +1,37 @@
 (* Immutable bit sets backed by an int array.  Bit [i] lives in word
    [i / bits_per_word] at position [i mod bits_per_word].  Unused high bits
    of the last word are kept at zero so that [equal]/[compare]/[hash] can
-   work word-wise without masking. *)
+   work word-wise without masking.
+
+   Every set carries a structural digest computed at construction (the
+   words were just touched anyway, so the extra pass is cheap) and a
+   mutable interning tag.  [intern] canonicalizes a set through a weak
+   unique table: interned sets are physically unique, so [equal] gets a
+   pointer fast path, [hash] is the stored digest, and [id] yields a
+   dense integer usable as a hash-cons key by client structures
+   (notably the GPN world sets). *)
 
 let bits_per_word = Sys.int_size
 
-type t = { width : int; words : int array }
+type t = { width : int; words : int array; digest : int; mutable tag : int }
 
 let width s = s.width
+
+let compute_digest width words =
+  (* Word-wise polynomial hash; cheap and well distributed for the sizes
+     encountered in net analysis (a few words).  Masked non-negative so
+     it can index weak-table buckets directly. *)
+  Array.fold_left (fun h w -> (h * 486187739) + (w lxor (w lsr 31))) width words
+  land max_int
+
+let make width words = { width; words; digest = compute_digest width words; tag = -1 }
 
 let n_words width =
   if width = 0 then 0 else ((width - 1) / bits_per_word) + 1
 
 let empty width =
   if width < 0 then invalid_arg "Bitset.empty: negative width";
-  { width; words = Array.make (n_words width) 0 }
+  make width (Array.make (n_words width) 0)
 
 let check_elt fname width i =
   if i < 0 || i >= width then
@@ -29,7 +46,7 @@ let full width =
     let bits = hi - lo in
     words.(w) <- (if bits = bits_per_word then -1 else (1 lsl bits) - 1)
   done;
-  { width; words }
+  make width words
 
 let mem i s =
   check_elt "mem" s.width i;
@@ -42,7 +59,7 @@ let add i s =
   else begin
     let words = Array.copy s.words in
     words.(w) <- words.(w) lor b;
-    { s with words }
+    make s.width words
   end
 
 let remove i s =
@@ -52,7 +69,7 @@ let remove i s =
   else begin
     let words = Array.copy s.words in
     words.(w) <- words.(w) land lnot b;
-    { s with words }
+    make s.width words
   end
 
 let singleton width i = add i (empty width)
@@ -68,31 +85,73 @@ let check_widths fname a b =
 
 let binop fname op a b =
   check_widths fname a b;
-  { width = a.width; words = Array.map2 op a.words b.words }
+  make a.width (Array.map2 op a.words b.words)
 
-let union a b = binop "union" ( lor ) a b
-let inter a b = binop "inter" ( land ) a b
+let union a b = if a == b then a else binop "union" ( lor ) a b
+let inter a b = if a == b then a else binop "inter" ( land ) a b
 let diff a b = binop "diff" (fun x y -> x land lnot y) a b
 
 let is_empty s = Array.for_all (fun w -> w = 0) s.words
 
-let equal a b = a.width = b.width && a.words = b.words
+let equal a b =
+  a == b
+  || (a.tag < 0 || b.tag < 0)
+     (* Two distinct interned sets are never equal; otherwise fall back
+        to the digest filter and the word-wise comparison. *)
+     && a.digest = b.digest && a.width = b.width && a.words = b.words
 
 let compare a b =
-  let c = Int.compare a.width b.width in
-  if c <> 0 then c else Stdlib.compare a.words b.words
+  if a == b then 0
+  else begin
+    let c = Int.compare a.width b.width in
+    if c <> 0 then c else Stdlib.compare a.words b.words
+  end
 
-let hash s =
-  (* Word-wise polynomial hash; cheap and well distributed for the sizes
-     encountered in net analysis (a few words). *)
-  Array.fold_left (fun h w -> (h * 486187739) + (w lxor (w lsr 31))) s.width s.words
+let hash s = s.digest
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+
+module Interned = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = a.width = b.width && a.words = b.words
+  let hash s = s.digest
+end)
+
+let interned_table = Interned.create 4096
+let next_tag = ref 0
+let c_interned = Gpo_obs.Counter.make "bitset.interned"
+
+let intern s =
+  if s.tag >= 0 then s
+  else begin
+    let r = Interned.merge interned_table s in
+    if r == s then begin
+      (* Fresh canonical representative: assign its identity. *)
+      s.tag <- !next_tag;
+      incr next_tag;
+      Gpo_obs.Counter.incr c_interned
+    end;
+    r
+  end
+
+let interned s = s.tag >= 0
+
+let id s =
+  if s.tag < 0 then invalid_arg "Bitset.id: set is not interned";
+  s.tag
+
+let interned_count () = Interned.count interned_table
+
+(* ------------------------------------------------------------------ *)
 
 let rec subset_words wa wb i =
   i < 0 || (wa.(i) land lnot wb.(i) = 0 && subset_words wa wb (i - 1))
 
 let subset a b =
   check_widths "subset" a b;
-  subset_words a.words b.words (Array.length a.words - 1)
+  a == b || subset_words a.words b.words (Array.length a.words - 1)
 
 let rec disjoint_words wa wb i =
   i < 0 || (wa.(i) land wb.(i) = 0 && disjoint_words wa wb (i - 1))

@@ -55,7 +55,31 @@ val compare : t -> t -> int
 (** A total order compatible with {!equal}, suitable for [Map]/[Set]. *)
 
 val hash : t -> int
-(** A hash compatible with {!equal}. *)
+(** A hash compatible with {!equal}.  O(1): every set stores its digest,
+    computed once at construction. *)
+
+val intern : t -> t
+(** [intern s] is the canonical physical representative of [s], looked
+    up (or installed) in a global weak unique table.  Two interned sets
+    are equal iff they are physically equal, so hash-table probes on
+    interned sets degenerate to pointer comparisons.  The table holds
+    its entries weakly: representatives unreachable from client data
+    are reclaimed by the GC, so long-running analyses do not leak.
+    Idempotent; [intern s == intern s'] whenever [equal s s']. *)
+
+val interned : t -> bool
+(** [interned s] is [true] iff [s] is a canonical representative
+    returned by {!intern}. *)
+
+val id : t -> int
+(** A dense non-negative integer identifying an interned set — the key
+    clients use to hash-cons structures over sets (GPN world sets key
+    their trie nodes on it).  Ids are assigned in interning order and
+    never reused.  Raises [Invalid_argument] if [s] is not interned. *)
+
+val interned_count : unit -> int
+(** Number of live entries in the unique table (weak: collected
+    representatives are not counted). *)
 
 val subset : t -> t -> bool
 (** [subset a b] is [true] iff every element of [a] belongs to [b]. *)

@@ -1,0 +1,221 @@
+(* Representation equivalence: the hash-consed {!Gpn.World_set} and the
+   balanced-tree {!Gpn.World_set_tree} must be observationally
+   identical — first as plain set algebra under randomized operation
+   sequences, then as complete engines: [Core.Make] instantiated over
+   each representation must produce bit-identical GPO results (states,
+   edges, run roots, deadlock witness markings) across the models zoo
+   and a sweep of random nets.  Any divergence means either a bug in
+   the trie/memo layer or an iteration-order dependence that crept back
+   into the explorer. *)
+
+module B = Petri.Bitset
+module H = Gpn.World_set
+module T = Gpn.World_set_tree
+module He = Gpn.Core.Hashconsed.Explorer
+module Te = Gpn.Core.Tree.Explorer
+
+(* ------------------------------------------------------------------ *)
+(* Randomized operation sequences.                                     *)
+
+let width = 12
+
+let random_world st =
+  let k = Random.State.int st (width + 1) in
+  let w = ref (B.empty width) in
+  for _ = 1 to k do
+    w := B.add (Random.State.int st width) !w
+  done;
+  !w
+
+let check_pair ctx (h, t) =
+  if H.cardinal h <> T.cardinal t then
+    Alcotest.failf "%s: cardinal %d vs %d" ctx (H.cardinal h) (T.cardinal t);
+  if not (List.equal B.equal (H.elements h) (T.elements t)) then
+    Alcotest.failf "%s: elements differ" ctx;
+  if H.is_empty h <> T.is_empty t then Alcotest.failf "%s: is_empty differs" ctx
+
+(* One random session: grow a pool of (hash-consed, tree) pairs built by
+   identical operations, checking observational agreement after every
+   step plus the pairwise relations at the end. *)
+let op_session seed =
+  let st = Random.State.make [| seed |] in
+  let pool = ref [| (H.empty, T.empty) |] in
+  let pick () = !pool.(Random.State.int st (Array.length !pool)) in
+  let push ctx (h, t) =
+    check_pair ctx (h, t);
+    pool := Array.append !pool [| (h, t) |]
+  in
+  for step = 1 to 40 do
+    let ctx = Printf.sprintf "seed %d step %d" seed step in
+    match Random.State.int st 8 with
+    | 0 ->
+        let w = random_world st in
+        push ctx (H.singleton w, T.singleton w)
+    | 1 ->
+        let w = random_world st in
+        let h, t = pick () in
+        push ctx (H.add w h, T.add w t)
+    | 2 ->
+        let ha, ta = pick () and hb, tb = pick () in
+        push ctx (H.union ha hb, T.union ta tb)
+    | 3 ->
+        let ha, ta = pick () and hb, tb = pick () in
+        push ctx (H.inter ha hb, T.inter ta tb)
+    | 4 ->
+        let ha, ta = pick () and hb, tb = pick () in
+        push ctx (H.diff ha hb, T.diff ta tb)
+    | 5 ->
+        let tr = Random.State.int st width in
+        let h, t = pick () in
+        push ctx (H.filter_member tr h, T.filter_member tr t)
+    | 6 ->
+        let parity = Random.State.int st 2 in
+        let pred w = B.cardinal w land 1 = parity in
+        let h, t = pick () in
+        push ctx (H.filter pred h, T.filter pred t)
+    | _ ->
+        let worlds = List.init (Random.State.int st 6) (fun _ -> random_world st) in
+        push ctx (H.of_list worlds, T.of_list worlds)
+  done;
+  (* Pairwise relations must agree between representations, and each
+     representation's hash must be consistent with its equality. *)
+  Array.iteri
+    (fun i (ha, ta) ->
+      Array.iteri
+        (fun j (hb, tb) ->
+          let ctx rel =
+            Printf.sprintf "seed %d pair (%d,%d): %s" seed i j rel
+          in
+          if H.equal ha hb <> T.equal ta tb then Alcotest.failf "%s" (ctx "equal");
+          if H.subset ha hb <> T.subset ta tb then
+            Alcotest.failf "%s" (ctx "subset");
+          if Stdlib.compare (H.compare ha hb = 0) (T.compare ta tb = 0) <> 0 then
+            Alcotest.failf "%s" (ctx "compare-zero");
+          if H.equal ha hb && H.hash ha <> H.hash hb then
+            Alcotest.failf "%s" (ctx "hash/equal (hash-consed)");
+          if T.equal ta tb && T.hash ta <> T.hash tb then
+            Alcotest.failf "%s" (ctx "hash/equal (tree)"))
+        !pool;
+      let w = random_world st in
+      if H.mem w ha <> T.mem w ta then
+        Alcotest.failf "seed %d set %d: mem differs" seed i)
+    !pool
+
+let ops_random () =
+  for seed = 0 to 199 do
+    op_session seed
+  done
+
+(* Cartesian products, exercised separately: the pool sets above can
+   grow too large to multiply safely. *)
+let product_equiv () =
+  let st = Random.State.make [| 0xbeef |] in
+  for case = 0 to 99 do
+    let factors =
+      List.init
+        (1 + Random.State.int st 3)
+        (fun _ ->
+          List.init (1 + Random.State.int st 3) (fun _ -> random_world st))
+    in
+    let h = H.product width (List.map H.of_list factors) in
+    let t = T.product width (List.map T.of_list factors) in
+    check_pair (Printf.sprintf "product case %d" case) (h, t)
+  done
+
+(* Interning invariant of the hash-consed representation: structural
+   equality coincides with physical equality. *)
+let hashcons_identity () =
+  let st = Random.State.make [| 0xcafe |] in
+  for _ = 1 to 200 do
+    let worlds = List.init (Random.State.int st 8) (fun _ -> random_world st) in
+    let a = H.of_list worlds in
+    let b = List.fold_left (fun acc w -> H.add w acc) H.empty (List.rev worlds) in
+    if not (H.equal a b) then Alcotest.fail "of_list/add disagree";
+    if H.compare a b <> 0 then Alcotest.fail "equal sets with compare <> 0";
+    if H.hash a <> H.hash b then Alcotest.fail "equal sets with distinct hashes"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence: bit-identical GPO results across
+   representations. *)
+
+let witness_markings (deadlocks : He.witness list) =
+  List.map (fun (w : He.witness) -> w.He.markings) deadlocks
+
+let witness_markings_t (deadlocks : Te.witness list) =
+  List.map (fun (w : Te.witness) -> w.Te.markings) deadlocks
+
+let check_engines ?reduction_pair ~label net =
+  let rh, rt =
+    match reduction_pair with
+    | None -> (He.analyse net, Te.analyse net)
+    | Some (rh, rt) -> (He.analyse ~reduction:rh net, Te.analyse ~reduction:rt net)
+  in
+  if rh.He.states <> rt.Te.states then
+    Alcotest.failf "%s: states %d vs %d" label rh.He.states rt.Te.states;
+  if rh.He.edges <> rt.Te.edges then
+    Alcotest.failf "%s: edges %d vs %d" label rh.He.edges rt.Te.edges;
+  if List.length rh.He.runs <> List.length rt.Te.runs then
+    Alcotest.failf "%s: runs %d vs %d" label (List.length rh.He.runs)
+      (List.length rt.Te.runs);
+  if
+    not
+      (List.for_all2
+         (fun (a : He.run) (b : Te.run) -> B.equal a.He.root b.Te.root)
+         rh.He.runs rt.Te.runs)
+  then Alcotest.failf "%s: run roots differ" label;
+  if He.deadlock_free rh <> Te.deadlock_free rt then
+    Alcotest.failf "%s: deadlock verdicts differ" label;
+  if
+    not
+      (List.equal
+         (List.equal B.equal)
+         (witness_markings rh.He.deadlocks)
+         (witness_markings_t rt.Te.deadlocks))
+  then Alcotest.failf "%s: witness markings differ" label;
+  if rh.He.truncated <> rt.Te.truncated then
+    Alcotest.failf "%s: truncation differs" label
+
+let zoo () =
+  List.iter
+    (fun net -> check_engines ~label:net.Petri.Net.name net)
+    [
+      Models.Figures.fig1;
+      Models.Figures.fig2 4;
+      Models.Figures.fig2 8;
+      Models.Nsdp.make 2;
+      Models.Nsdp.make 4;
+      Models.Nsdp.make 6;
+      Models.Asat.make 2;
+      Models.Asat.make 4;
+      Models.Over.make 2;
+      Models.Over.make 4;
+      Models.Rw.make 3;
+      Models.Rw.make 6;
+      Models.Scheduler.make 3;
+    ]
+
+let zoo_stepwise () =
+  List.iter
+    (fun net ->
+      check_engines
+        ~reduction_pair:(He.Stepwise, Te.Stepwise)
+        ~label:(net.Petri.Net.name ^ " (stepwise)")
+        net)
+    [ Models.Figures.fig2 4; Models.Nsdp.make 3; Models.Rw.make 4 ]
+
+let random_nets () =
+  for seed = 0 to 149 do
+    let net = Models.Random_net.generate seed in
+    check_engines ~label:(Printf.sprintf "random seed %d" seed) net
+  done
+
+let suite =
+  [
+    Alcotest.test_case "randomized op sequences" `Quick ops_random;
+    Alcotest.test_case "products" `Quick product_equiv;
+    Alcotest.test_case "hash-consing identity" `Quick hashcons_identity;
+    Alcotest.test_case "engine equivalence on the zoo" `Quick zoo;
+    Alcotest.test_case "engine equivalence, stepwise" `Quick zoo_stepwise;
+    Alcotest.test_case "engine equivalence on random nets" `Slow random_nets;
+  ]

@@ -5,6 +5,7 @@
 
      julie analyze   — run one or all engines on a net (file or builtin)
      julie trace     — print a firing sequence to a deadlock
+     julie certify   — run engines with witnesses and check them independently
      julie table1    — reproduce Table 1 of the paper
      julie fig       — reproduce the Figure 1 / Figure 2 series
      julie dot       — export a net or its reachability graph to DOT
@@ -15,16 +16,29 @@ open Cmdliner
 (* Exit codes (PROVE-style, so the CLI is scriptable):
      0 — the property holds / no deadlock found;
      1 — a deadlock or safety violation was found;
-     2 — usage error (bad net source, bad arguments). *)
+     2 — usage error (bad net source, bad arguments), or an
+         indeterminate verdict: the state budget was exhausted before
+         the space was covered, or a claimed violation failed
+         certification.  A truncated exploration that found nothing is
+         NOT a clean "no deadlock". *)
 let exit_holds = 0
 let exit_violated = 1
 let exit_usage = 2
+let exit_indeterminate = 2
 
 let verdict_exits =
   Cmd.Exit.info exit_holds ~doc:"the net is deadlock free / the property holds."
   :: Cmd.Exit.info exit_violated ~doc:"a deadlock or property violation was found."
-  :: Cmd.Exit.info exit_usage ~doc:"usage error: bad net source or arguments."
+  :: Cmd.Exit.info exit_usage
+       ~doc:"usage error (bad net source or arguments), or an indeterminate \
+             verdict (state budget exhausted, certification failed)."
   :: Cmd.Exit.defaults
+
+let inconclusive () =
+  Format.printf
+    "inconclusive: state budget exhausted before the state space was covered \
+     (raise --max-states)@.";
+  exit_indeterminate
 
 (* Wrap a command body so our own [failwith]s (and unreadable --file
    arguments) become exit code 2. *)
@@ -152,59 +166,98 @@ let engines_arg =
   let doc = "Engine to run: full, po, smv or gpo (repeatable; default all)." in
   Arg.(value & opt_all engine_conv [] & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
-let analyze file builtin size engines max_states obs =
+let witness_arg =
+  let doc =
+    "Attach a counterexample witness to every deadlock verdict: a firing \
+     sequence from the initial marking to the dead marking, certified by an \
+     independent replay check."
+  in
+  Arg.(value & flag & info [ "w"; "witness" ] ~doc)
+
+let analyze file builtin size engines max_states witness obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
   let engines = if engines = [] then Harness.Engine.all else engines in
   with_obs obs @@ fun () ->
-  let deadlock_found =
-    List.fold_left
-      (fun acc kind ->
+  let outcomes =
+    List.map
+      (fun kind ->
         let o =
           observed_run obs ~net_name:net.Petri.Net.name kind (fun () ->
-              Harness.Engine.run ~max_states kind net)
+              Harness.Engine.run ~max_states ~witness kind net)
         in
         Format.printf "%a@." Harness.Engine.pp_outcome o;
-        acc || o.Harness.Engine.deadlock)
-      false engines
+        (match o.Harness.Engine.witness with
+        | Some tr ->
+            Format.printf "  witness: %a@." (Petri.Trace.pp net) tr;
+            Format.printf "  %a@." (Harness.Certify.pp net)
+              (Harness.Certify.deadlock net o)
+        | None -> ());
+        o)
+      engines
   in
-  if deadlock_found then exit_violated else exit_holds
+  match Harness.Certify.conclusion outcomes with
+  | `Violated -> exit_violated
+  | `Holds -> exit_holds
+  | `Inconclusive -> inconclusive ()
 
 let analyze_cmd =
   let info =
     Cmd.info "analyze" ~exits:verdict_exits
       ~doc:"Check a net for deadlock with the chosen engines.  Exits with 0 \
             when every engine reports the net deadlock free, 1 when a \
-            deadlock is found, 2 on usage errors."
+            deadlock is found, 2 on usage errors or when every clean report \
+            came from a truncated exploration (inconclusive)."
   in
   Cmd.v info
     Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ obs_term)
+          $ max_states_arg $ witness_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
 
-let trace file builtin size =
+let trace file builtin size engine max_states =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
-  let result = Gpn.Explorer.analyse net in
-  match result.deadlocks with
-  | [] ->
-      Format.printf "deadlock free (%d GPO states)@." result.states;
-      exit_holds
-  | witness :: _ ->
-      let tr = Gpn.Explorer.deadlock_trace result witness in
+  let o = Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true engine net in
+  match o.Harness.Engine.witness with
+  | Some tr ->
       Format.printf "@[<v>deadlock reached by:@ %a@ @ %a@]@." (Petri.Trace.pp net) tr
         (Petri.Trace.pp_replay net) tr;
       exit_violated
+  | None ->
+      if o.Harness.Engine.deadlock then begin
+        (* An engine claiming a deadlock must produce a witness; treat a
+           missing one as an internal failure, not a verdict. *)
+        Format.eprintf "julie: %s reported a deadlock without a witness@."
+          (Harness.Engine.name engine);
+        exit_indeterminate
+      end
+      else if o.Harness.Engine.truncated then inconclusive ()
+      else begin
+        Format.printf "deadlock free (%s engine, %.0f %s)@."
+          (Harness.Engine.name engine)
+          o.Harness.Engine.metric
+          (match engine with
+          | Harness.Engine.Symbolic -> "peak nodes"
+          | _ -> "states");
+        exit_holds
+      end
 
 let trace_cmd =
+  let engine =
+    Arg.(value & opt engine_conv Harness.Engine.Gpo
+         & info [ "e"; "engine" ] ~docv:"ENGINE"
+             ~doc:"Engine reconstructing the witness: full, po, smv or gpo.")
+  in
   let info =
     Cmd.info "trace" ~exits:verdict_exits
-      ~doc:"Print a firing sequence reaching a deadlock (GPO engine)."
+      ~doc:"Print a firing sequence reaching a deadlock, reconstructed by the \
+            chosen engine (default gpo) and replayed step by step."
   in
-  Cmd.v info Term.(const trace $ file_arg $ model_arg $ size_arg)
+  Cmd.v info
+    Term.(const trace $ file_arg $ model_arg $ size_arg $ engine $ max_states_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / fig                                                        *)
@@ -299,17 +352,28 @@ let safety file builtin size cover engine obs =
   let monitored = Petri.Safety.monitor net property in
   with_obs obs @@ fun () ->
   let outcome =
+    (* gpo_scan: the verdict itself is the product here, so the GPO
+       engine must run in its complete (hardened) configuration — the
+       paper configuration can miss covering markings. *)
     observed_run obs ~net_name:monitored.Petri.Net.name engine (fun () ->
-        Harness.Engine.run engine monitored)
+        Harness.Engine.run ~witness:true ~gpo_scan:true engine monitored)
   in
   if outcome.Harness.Engine.deadlock then begin
     Format.printf "VIOLATED: {%s} can be marked simultaneously@."
       (String.concat ", " cover);
-    (match Petri.Safety.covering_marking net property with
-    | Some trace -> Format.printf "scenario: %a@." (Petri.Trace.pp net) trace
-    | None -> ());
+    (* The engine's witness (on the monitored net), projected back to
+       the original net and certified; fall back to a direct search if
+       certification fails. *)
+    (match Harness.Certify.safety net property outcome with
+    | Harness.Certify.Certified { trace; _ } ->
+        Format.printf "scenario (certified): %a@." (Petri.Trace.pp net) trace
+    | _ -> (
+        match Petri.Safety.covering_marking net property with
+        | Some trace -> Format.printf "scenario: %a@." (Petri.Trace.pp net) trace
+        | None -> ()));
     exit_violated
   end
+  else if outcome.Harness.Engine.truncated then inconclusive ()
   else begin
     Format.printf "holds: {%s} never marked simultaneously (%s engine, %.0f %s)@."
       (String.concat ", " cover)
@@ -336,6 +400,75 @@ let safety_cmd =
   in
   Cmd.v info
     Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* certify                                                             *)
+
+let certify file builtin size engines max_states cover obs =
+  usage_checked @@ fun () ->
+  let net = load_net file builtin size in
+  let engines = if engines = [] then Harness.Engine.all else engines in
+  let property =
+    match cover with
+    | [] -> None
+    | places ->
+        Some
+          {
+            Petri.Safety.name = "prop";
+            never_all = List.map (Petri.Net.place_index net) places;
+          }
+  in
+  let target =
+    match property with None -> net | Some p -> Petri.Safety.monitor net p
+  in
+  with_obs obs @@ fun () ->
+  let verdicts =
+    List.map
+      (fun kind ->
+        let o =
+          observed_run obs ~net_name:target.Petri.Net.name kind (fun () ->
+              Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true kind
+                target)
+        in
+        let v =
+          match property with
+          | None -> Harness.Certify.deadlock net o
+          | Some p -> Harness.Certify.safety net p o
+        in
+        Format.printf "@[<v 2>%-8s %a@]@." (Harness.Engine.name kind)
+          (Harness.Certify.pp net) v;
+        v)
+      engines
+  in
+  let any p = List.exists p verdicts in
+  if any (function Harness.Certify.Rejected _ -> true | _ -> false) then begin
+    Format.printf "CERTIFICATION FAILED: a claimed violation did not check out@.";
+    exit_indeterminate
+  end
+  else if any Harness.Certify.certified then exit_violated
+  else if any (function Harness.Certify.Inconclusive -> true | _ -> false) then
+    inconclusive ()
+  else exit_holds
+
+let certify_cmd =
+  let cover =
+    Arg.(value & opt_all string [] & info [ "p"; "place" ] ~docv:"PLACE"
+           ~doc:"Certify a safety property instead of deadlock freedom: the \
+                 places given (repeatable) must never be marked at once.")
+  in
+  let info =
+    Cmd.info "certify" ~exits:verdict_exits
+      ~doc:"Run the chosen engines with witnesses and check every violation \
+            verdict independently: the witness is replayed step by step \
+            against the net semantics and its final marking is confirmed \
+            dead (or, with $(b,--place), to cover the bad places on the \
+            original net).  Exits 0 when the property holds, 1 when a \
+            certified violation exists, 2 when inconclusive or when a \
+            claimed violation fails certification."
+  in
+  Cmd.v info
+    Term.(const certify $ file_arg $ model_arg $ size_arg $ engines_arg
+          $ max_states_arg $ cover $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* siphons                                                             *)
@@ -402,8 +535,8 @@ let main =
   let info = Cmd.info "julie" ~version:"1.0.0" ~doc ~exits:verdict_exits in
   Cmd.group info
     [
-      analyze_cmd; trace_cmd; safety_cmd; siphons_cmd; table1_cmd; fig_cmd;
-      dot_cmd; info_cmd;
+      analyze_cmd; trace_cmd; certify_cmd; safety_cmd; siphons_cmd; table1_cmd;
+      fig_cmd; dot_cmd; info_cmd;
     ]
 
 let () =

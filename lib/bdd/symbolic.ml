@@ -50,6 +50,22 @@ module Internal = struct
       cube
 
   let current_vars enc = List.init enc.n_places enc.current
+  let next_vars enc = List.init enc.n_places enc.next
+
+  let cube_of_marking enc m =
+    Bdd.conj enc.manager
+      (List.init enc.n_places (fun p ->
+           if Petri.Bitset.mem p m then Bdd.var enc.manager (enc.current p)
+           else Bdd.nvar enc.manager (enc.current p)))
+
+  let preimage enc rel target =
+    (* [target] ranges over current variables; shift it onto the next
+       variables (v ↦ v + 1 is strictly monotone on the all-even
+       support), conjoin with the relation and quantify the next
+       variables away — what remains are the one-step predecessors,
+       over current variables. *)
+    let shifted = Bdd.rename_monotone enc.manager (fun v -> v + 1) target in
+    Bdd.and_exists enc.manager (next_vars enc) shifted rel
 
   let shift_next_to_current enc t =
     (* next vars are odd = current + 1; the map v ↦ v - 1 on odd vars is
@@ -73,6 +89,7 @@ type result = {
   peak_live_nodes : int;
   peak_set_nodes : int;
   deadlock : Petri.Bitset.t option;
+  witness : Petri.Net.transition list option;
   time_s : float;
 }
 
@@ -82,8 +99,53 @@ let g_peak_live = Gpo_obs.Gauge.make "smv.peak_live_nodes"
 let g_peak_set = Gpo_obs.Gauge.make "smv.peak_set_nodes"
 let g_unique_size = Gpo_obs.Gauge.make "bdd.unique.size"
 let g_unique_load = Gpo_obs.Gauge.make "bdd.unique.load_factor"
+let d_witness_len = Gpo_obs.Dist.make "smv.witness.length"
 
-let analyse ?(partitioned = true) (net : Petri.Net.t) =
+(* Layered backward reconstruction.  The frontier BDDs of the forward
+   fixpoint are BFS layers: a marking first reached in layer [i] has,
+   by construction of [fresh], a one-step predecessor in layer [i - 1].
+   Walking the layers backwards — at each step scanning the partitioned
+   relations for a transition whose preimage of the current marking
+   meets the previous layer — yields a shortest firing sequence from
+   the initial marking to [target]. *)
+let reconstruct enc layers target =
+  let m = enc.Internal.manager in
+  let member marking layer =
+    not (Bdd.is_zero (Bdd.and_ m layer (Internal.cube_of_marking enc marking)))
+  in
+  let depth =
+    let rec find i =
+      if i >= Array.length layers then
+        invalid_arg "Symbolic.reconstruct: marking outside the layered frontier"
+      else if member target layers.(i) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec walk i marking acc =
+    if i = 0 then acc
+    else begin
+      let cube = Internal.cube_of_marking enc marking in
+      let rec try_transition t =
+        if t >= Array.length enc.Internal.relations then
+          invalid_arg "Symbolic.reconstruct: no predecessor in the previous layer"
+        else begin
+          let pred =
+            Bdd.and_ m
+              (Internal.preimage enc enc.Internal.relations.(t) cube)
+              layers.(i - 1)
+          in
+          if Bdd.is_zero pred then try_transition (t + 1)
+          else (t, Internal.marking_of_cube enc (Bdd.any_sat pred))
+        end
+      in
+      let t, predecessor = try_transition 0 in
+      walk (i - 1) predecessor (t :: acc)
+    end
+  in
+  walk depth target []
+
+let analyse ?(partitioned = true) ?(witness = false) (net : Petri.Net.t) =
   let t0 = Unix.gettimeofday () in
   Gpo_obs.Counter.touch c_iterations;
   let enc = Gpo_obs.Span.time "smv.encode" (fun () -> Internal.encode net) in
@@ -96,11 +158,15 @@ let analyse ?(partitioned = true) (net : Petri.Net.t) =
     end
   in
   let peak_set = ref (Bdd.size enc.initial) in
+  (* BFS layers for witness reconstruction, newest first; only retained
+     when a witness was requested (each layer pins its BDD live). *)
+  let layers = ref [ enc.initial ] in
   let rec fixpoint reached frontier iterations =
     if Bdd.is_zero frontier then (reached, iterations)
     else begin
       let successors = Gpo_obs.Span.time "smv.image" (fun () -> image frontier) in
       let fresh = Bdd.and_ m successors (Bdd.not_ m reached) in
+      if witness && not (Bdd.is_zero fresh) then layers := fresh :: !layers;
       let reached = Bdd.or_ m reached fresh in
       let set_size = Bdd.size reached in
       if set_size > !peak_set then peak_set := set_size;
@@ -131,12 +197,25 @@ let analyse ?(partitioned = true) (net : Petri.Net.t) =
     if Bdd.is_zero dead_set then None
     else Some (Internal.marking_of_cube enc (Bdd.any_sat dead_set))
   in
+  let witness =
+    match deadlock with
+    | Some dead when witness ->
+        Some
+          (Gpo_obs.Span.time "smv.witness" (fun () ->
+               let trace =
+                 reconstruct enc (Array.of_list (List.rev !layers)) dead
+               in
+               Gpo_obs.Dist.observe_int d_witness_len (List.length trace);
+               trace))
+    | _ -> None
+  in
   {
     states;
     iterations;
     peak_live_nodes = Bdd.peak_nodes m;
     peak_set_nodes = !peak_set;
     deadlock;
+    witness;
     time_s = Unix.gettimeofday () -. t0;
   }
 

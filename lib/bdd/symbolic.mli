@@ -19,14 +19,22 @@ type result = {
       (** Largest node count of the reachable-set BDD during the fixpoint. *)
   deadlock : Petri.Bitset.t option;
       (** Some deadlocked reachable marking, if one exists. *)
+  witness : Petri.Net.transition list option;
+      (** When requested and [deadlock = Some m]: a shortest firing
+          sequence from the initial marking to [m], reconstructed by
+          walking the BFS frontier layers backwards with per-transition
+          preimages. *)
   time_s : float;  (** Wall-clock time of the analysis. *)
 }
 
-val analyse : ?partitioned:bool -> Petri.Net.t -> result
+val analyse : ?partitioned:bool -> ?witness:bool -> Petri.Net.t -> result
 (** Run the symbolic reachability analysis.  [partitioned] (default
     [true]) keeps one relation per transition and accumulates the
     per-transition images; [false] builds the monolithic disjunction
-    first (the ablation bench compares both). *)
+    first (the ablation bench compares both).  [witness] (default
+    [false]) retains the frontier layers during the fixpoint and, if a
+    deadlock exists, reconstructs a concrete firing sequence to it
+    (reported in the [witness] field; costs one live BDD per layer). *)
 
 val reachable_count : Petri.Net.t -> float
 (** Convenience: just the number of reachable markings. *)
@@ -50,6 +58,16 @@ module Internal : sig
   val marking_of_cube : encoding -> (int * bool) list -> Petri.Bitset.t
   (** Decode a satisfying assignment over current variables. *)
 
+  val cube_of_marking : encoding -> Petri.Bitset.t -> Bdd.t
+  (** The characteristic function of one marking, over current
+      variables (inverse of {!marking_of_cube}). *)
+
   val image : encoding -> Bdd.t -> Bdd.t
   (** One-step successors of a set of markings (partitioned relation). *)
+
+  val preimage : encoding -> Bdd.t -> Bdd.t -> Bdd.t
+  (** [preimage enc rel set] is the one-step predecessors of [set]
+      (over current variables) under the single relation [rel] — the
+      backward counterpart of {!image}, used by witness
+      reconstruction. *)
 end

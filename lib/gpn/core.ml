@@ -1027,10 +1027,17 @@ module Make (W : World_set_intf.S) = struct
           @ replay_in_world ctx parent world state
           @ [ transition ]
 
+    let d_witness_len = Gpo_obs.Dist.make "gpo.witness.length"
+
     let deadlock_trace result witness =
+      Gpo_obs.Span.time "gpo.witness" @@ fun () ->
       let ctx = result.ctx in
       let v = W.choose witness.worlds in
-      root_trace ctx witness.run @ replay_in_world ctx witness.run v witness.state
+      let trace =
+        root_trace ctx witness.run @ replay_in_world ctx witness.run v witness.state
+      in
+      Gpo_obs.Dist.observe_int d_witness_len (List.length trace);
+      trace
 
     let pp_summary ppf result =
       Format.fprintf ppf "%s (GPO): %d states, %d edges, %d run(s), %s%s"

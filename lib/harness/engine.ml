@@ -7,6 +7,7 @@ type outcome = {
   deadlock : bool;
   time_s : float;
   truncated : bool;
+  witness : Petri.Trace.t option;
 }
 
 let all = [ Full; Stubborn; Symbolic; Gpo ]
@@ -22,11 +23,24 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let run ?(max_states = 5_000_000) kind net =
+(* Witness reconstruction for the explicit engines: walk the predecessor
+   map back from the first retained deadlocked marking. *)
+let explicit_witness (r : Petri.Reachability.result) =
+  match r.deadlocks with
+  | [] -> None
+  | m :: _ ->
+      Some
+        (Gpo_obs.Span.time "reach.witness" (fun () ->
+             Petri.Reachability.trace_to r m))
+
+let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false) kind net =
   Gpo_obs.Span.time ("engine." ^ name kind) @@ fun () ->
   match kind with
   | Full ->
-      let r, time_s = timed (fun () -> Petri.Reachability.explore ~max_states net) in
+      let r, time_s =
+        timed (fun () ->
+            Petri.Reachability.explore ~max_states ~traces:witness net)
+      in
       {
         kind;
         states = float_of_int r.states;
@@ -34,9 +48,12 @@ let run ?(max_states = 5_000_000) kind net =
         deadlock = r.deadlock_count > 0;
         time_s;
         truncated = r.truncated;
+        witness = (if witness then explicit_witness r else None);
       }
   | Stubborn ->
-      let r, time_s = timed (fun () -> Petri.Stubborn.explore ~max_states net) in
+      let r, time_s =
+        timed (fun () -> Petri.Stubborn.explore ~max_states ~traces:witness net)
+      in
       {
         kind;
         states = float_of_int r.states;
@@ -44,9 +61,10 @@ let run ?(max_states = 5_000_000) kind net =
         deadlock = r.deadlock_count > 0;
         time_s;
         truncated = r.truncated;
+        witness = (if witness then explicit_witness r else None);
       }
   | Symbolic ->
-      let r, time_s = timed (fun () -> Bddkit.Symbolic.analyse net) in
+      let r, time_s = timed (fun () -> Bddkit.Symbolic.analyse ~witness net) in
       {
         kind;
         states = r.states;
@@ -54,13 +72,21 @@ let run ?(max_states = 5_000_000) kind net =
         deadlock = r.deadlock <> None;
         time_s;
         truncated = false;
+        witness = r.witness;
       }
   | Gpo ->
-      (* The paper-faithful configuration: no deviation scan (Section 3.3
-         as published).  The library's hardened default (scan = true) is
-         exercised by the ablation bench and the test suite. *)
+      (* Default: the paper-faithful configuration, no deviation scan
+         (Section 3.3 as published) — sound on found deadlocks but not
+         complete on every net.  [gpo_scan] switches to the library's
+         hardened default (scan = true), the configuration certification
+         and conformance tooling must use. *)
       let r, time_s =
-        timed (fun () -> Gpn.Explorer.analyse ~scan:false ~max_states net)
+        timed (fun () -> Gpn.Explorer.analyse ~scan:gpo_scan ~max_states net)
+      in
+      let trace =
+        match r.Gpn.Explorer.deadlocks with
+        | w :: _ when witness -> Some (Gpn.Explorer.deadlock_trace r w)
+        | _ -> None
       in
       {
         kind;
@@ -69,6 +95,7 @@ let run ?(max_states = 5_000_000) kind net =
         deadlock = not (Gpn.Explorer.deadlock_free r);
         time_s;
         truncated = r.truncated;
+        witness = trace;
       }
 
 let pp_outcome ppf o =

@@ -21,6 +21,12 @@ type outcome = {
   deadlock : bool;
   time_s : float;  (** Wall-clock analysis time. *)
   truncated : bool;  (** [true] if a state budget was exhausted. *)
+  witness : Petri.Trace.t option;
+      (** When requested and [deadlock = true]: a firing sequence from
+          the initial marking to a dead marking, reconstructed by the
+          engine itself (predecessor maps for the explicit engines,
+          layered preimages for the symbolic one, world linearization
+          for GPO).  Check it independently with {!Certify}. *)
 }
 
 val all : kind list
@@ -29,13 +35,22 @@ val all : kind list
 val name : kind -> string
 (** Display name ("full", "spin+po", "smv", "gpo"). *)
 
-val run : ?max_states:int -> kind -> Petri.Net.t -> outcome
+val run :
+  ?max_states:int -> ?witness:bool -> ?gpo_scan:bool -> kind -> Petri.Net.t -> outcome
 (** Run one engine.  [max_states] (default [5_000_000]) bounds the
-    explicit engines and GPO; the symbolic engine ignores it.  The GPO
-    engine runs in the paper-faithful configuration
-    ([Gpn.Explorer.analyse ~scan:false]): the hardened default with the
-    deviation scan is the library default and is compared against it by
-    the ablation bench. *)
+    explicit engines and GPO; the symbolic engine ignores it.
+    [witness] (default [false]) makes a [deadlock = true] verdict carry
+    a counterexample firing sequence (costs predecessor recording /
+    frontier-layer retention during the run).
+
+    [gpo_scan] (default [false]) selects the GPO configuration and is
+    ignored by the other engines.  The default is the paper-faithful
+    configuration ([Gpn.Explorer.analyse ~scan:false], Section 3.3 as
+    published), which is what Table 1 reproduces; it is sound on any
+    deadlock it {e finds} but can miss deadlocks on some nets.  Pass
+    [~gpo_scan:true] to use the library's hardened default with the
+    deviation scan whenever the verdict itself matters (certification,
+    conformance, [julie safety]). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line rendering: name, metric, deadlock verdict, time. *)

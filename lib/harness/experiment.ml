@@ -101,6 +101,7 @@ let skipped kind =
     deadlock = false;
     time_s = 0.;
     truncated = true;
+    witness = None;
   }
 
 (* Per-family wall-clock bookkeeping for the engines whose cost explodes

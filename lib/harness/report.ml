@@ -15,6 +15,10 @@ let json_of_outcome (o : Engine.outcome) =
       ("deadlock", J.Bool o.deadlock);
       ("time_s", num o.time_s);
       ("truncated", J.Bool o.truncated);
+      ( "witness",
+        match o.witness with
+        | None -> J.Null
+        | Some trace -> J.List (List.map (fun t -> J.Int t) trace) );
     ]
 
 let json_of_paper_row (p : Experiment.paper_row) =

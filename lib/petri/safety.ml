@@ -36,6 +36,23 @@ let monitor (net : Net.t) property =
 
 let covers property m = List.for_all (fun p -> Bitset.mem p m) property.never_all
 
+(* The monitor keeps the original transitions at their original indices
+   (the builder adds them first), then appends [tick] and [violate].
+   Inverting a monitored firing sequence therefore cuts it at the first
+   [violate] — the cover is reached exactly when it becomes enabled —
+   and erases the [tick] self-loops; what remains is, index for index, a
+   firing sequence of the original net. *)
+let project_monitor_witness (net : Net.t) trace =
+  let tick = net.n_transitions in
+  let violate = net.n_transitions + 1 in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | t :: _ when t = violate -> List.rev acc
+    | t :: rest when t = tick -> go acc rest
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] trace
+
 let covering_marking ?(max_states = 1_000_000) net property =
   let result = Reachability.explore ~max_states ~traces:true net in
   if result.truncated then failwith "Safety: exploration truncated";

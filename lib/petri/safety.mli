@@ -32,6 +32,18 @@ val monitor : Net.t -> property -> Net.t
     Raises [Invalid_argument] if [never_all] is empty or mentions an
     unknown place. *)
 
+val covers : property -> Bitset.t -> bool
+(** [covers property m]: all places of [never_all] are marked in [m]. *)
+
+val project_monitor_witness : Net.t -> Net.transition list -> Net.transition list
+(** [project_monitor_witness net trace] maps a firing sequence of
+    [monitor net property] back to the {e original} [net]: the sequence
+    is cut at the first [violate] firing and the [tick] self-loops are
+    erased (the monitor keeps original transitions at their original
+    indices, so the rest maps unchanged).  Applied to a deadlock
+    witness of the monitored net, the result replays on [net] to a
+    marking covering [never_all]. *)
+
 val violated_explicit : ?max_states:int -> Net.t -> property -> bool
 (** Ground truth by direct exhaustive search on the {e original} net:
     [true] iff some reachable marking covers [never_all].  Raises

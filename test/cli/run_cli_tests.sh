@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Exit-code and output contract of the julie CLI.
+#
+#   0 — property holds / deadlock free (exhaustively)
+#   1 — a deadlock or safety violation was found
+#   2 — usage error, or an indeterminate verdict (budget exhausted,
+#       certification failure)
+#
+# Run by dune (see ./dune) with the julie executable as $1.
+
+set -u
+JULIE="$1"
+failures=0
+
+# expect CODE DESCRIPTION -- ARGS...: run julie, compare the exit code.
+# Output is kept for the grep helpers below.
+out=""
+expect() {
+  local want="$1" desc="$2"
+  shift 2
+  [ "$1" = "--" ] && shift
+  out="$("$JULIE" "$@" 2>&1)"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got (julie $*)"
+    echo "$out" | sed 's/^/      /'
+    failures=$((failures + 1))
+  else
+    echo "ok:   $desc (exit $got)"
+  fi
+}
+
+# expect_out PATTERN DESCRIPTION: grep the output of the last expect.
+expect_out() {
+  local pattern="$1" desc="$2"
+  if ! printf '%s\n' "$out" | grep -q "$pattern"; then
+    echo "FAIL: $desc: output lacks /$pattern/"
+    printf '%s\n' "$out" | sed 's/^/      /'
+    failures=$((failures + 1))
+  else
+    echo "ok:   $desc"
+  fi
+}
+
+# --- analyze: documented verdict codes --------------------------------
+
+expect 1 "analyze finds the NSDP deadlock" -- analyze -m nsdp -n 4
+expect 0 "analyze clears the overtake protocol" -- analyze -m over -n 3
+expect 2 "analyze rejects an unknown model" -- analyze -m no-such-model
+expect 2 "analyze with no net is a usage error" -- analyze
+
+# Regression: a truncated exploration that found nothing must be
+# reported as inconclusive (exit 2), never as a clean "no deadlock".
+expect 2 "truncated clean run is inconclusive" -- \
+  analyze -m asat -n 4 -e full --max-states 50
+expect_out "inconclusive" "truncation is called out as inconclusive"
+
+# A deadlock found before the budget ran out is still a verdict.
+expect 1 "deadlock found within a tight budget still exits 1" -- \
+  analyze -m nsdp -n 4 -e gpo --max-states 50
+
+# --- witnesses --------------------------------------------------------
+
+expect 1 "analyze --witness still exits 1" -- analyze -m nsdp -n 4 --witness
+expect_out "witness:" "witness is printed"
+expect_out "CERTIFIED" "witness is certified inline"
+
+for engine in full po smv gpo; do
+  expect 1 "trace reconstructs a witness ($engine)" -- \
+    trace -m nsdp -n 4 -e "$engine"
+  expect_out "deadlock reached by:" "trace shows the firing sequence ($engine)"
+done
+expect 0 "trace on a deadlock-free net exits 0" -- trace -m over -n 3
+expect 2 "trace with an exhausted budget is inconclusive" -- \
+  trace -m asat -n 4 -e full --max-states 50
+
+# --- certify ----------------------------------------------------------
+
+expect 1 "certify confirms the NSDP deadlock on all engines" -- \
+  certify -m nsdp -n 2
+expect_out "CERTIFIED" "certify prints the certified witness"
+expect 0 "certify reports the overtake protocol clean" -- certify -m over -n 3
+expect 2 "certify under an exhausted budget is inconclusive" -- \
+  certify -m asat -n 4 -e full --max-states 50
+
+# --- safety (coverability through the monitor reduction) --------------
+
+expect 1 "safety finds the fork cover" -- \
+  safety -m nsdp -n 2 -p gotL.0 -p gotL.1 -e smv
+expect_out "VIOLATED" "safety announces the violation"
+expect_out "scenario (certified):" "safety ships a certified scenario"
+
+# Regression: the GPO engine must use its complete configuration here —
+# the paper configuration misses this covering marking and would have
+# reported the property as holding.
+expect 1 "safety agrees on the gpo engine" -- \
+  safety -m nsdp -n 2 -p gotL.0 -p gotL.1 -e gpo
+expect_out "scenario (certified):" "gpo safety scenario is certified"
+
+# think.0 and askL.0 are two states of one philosopher: never covered.
+expect 0 "safety proves an unreachable cover" -- \
+  safety -m nsdp -n 2 -p think.0 -p askL.0 -e full
+expect_out "holds:" "safety announces the proof"
+expect 2 "safety without --place is a usage error" -- safety -m nsdp -n 2
+
+expect 1 "certify --place certifies the violation per engine" -- \
+  certify -m nsdp -n 2 -p gotL.0 -p gotL.1
+expect_out "CERTIFIED" "certify --place prints certified witnesses"
+expect 0 "certify --place on a holding property" -- \
+  certify -m nsdp -n 2 -p think.0 -p askL.0
+
+# --- witness replays through julie trace (file round-trip) ------------
+
+# `trace` on the same model must replay its own reconstruction; the
+# replay printer re-validates every step, so a bad witness dies here.
+expect 1 "trace replays the witness step by step" -- trace -m nsdp -n 2
+expect_out "deadlock reached by:" "replay header present"
+expect_out "takeL" "replay mentions a fork acquisition"
+
+echo
+if [ "$failures" -gt 0 ]; then
+  echo "$failures CLI check(s) failed"
+  exit 1
+fi
+echo "all CLI checks passed"

@@ -1,0 +1,58 @@
+(* Shared failure-artifact helper for the differential suites.
+
+   When a conformance or certification property fails on a generated
+   net, the assertion message alone is not enough to reproduce: the
+   net itself (and the offending witness, when there is one) is dumped
+   under [test-failures/] — which lands in
+   [_build/default/test/test-failures/], where CI picks it up as an
+   artifact — and the returned base path is embedded in the Alcotest
+   failure message. *)
+
+let dir = "test-failures"
+
+let slug label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    label
+
+(* Dump the net (textual [Petri.Parser] format, reloadable with
+   [julie analyze -f ...]) and the optional witness (one transition
+   name per line); returns the base path of the artifacts. *)
+let dump ?trace ~label net =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let base = Filename.concat dir (slug label) in
+  Petri.Parser.to_file (base ^ ".net") net;
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      let oc = open_out (base ^ ".trace") in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun t ->
+              output_string oc (Petri.Net.transition_name net t);
+              output_char oc '\n')
+            tr));
+  base
+
+(* Dump and fail in one go; the printf-style arguments describe the
+   violated property. *)
+let failf ?trace ~label net fmt =
+  let base = dump ?trace ~label net in
+  Format.kasprintf
+    (fun msg -> Alcotest.failf "%s: %s (artifacts: %s.*)" label msg base)
+    fmt
+
+(* Seed count for the randomized sweeps, trimmable from the environment
+   so CI can run a reduced but still seeded-deterministic sweep. *)
+let seed_count ?(default = 200) () =
+  match Sys.getenv_opt "GPO_TEST_SEEDS" with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> default)

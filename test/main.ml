@@ -22,6 +22,8 @@ let () =
       ("siphon", Test_siphon.suite);
       ("models", Test_models.suite);
       ("harness", Test_harness.suite);
+      ("conformance", Test_conformance.suite);
+      ("certify", Test_certify.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
     ]

@@ -6,6 +6,7 @@
      dune exec bench/main.exe fig1       # Figure 1 series
      dune exec bench/main.exe fig2       # Figure 2 series
      dune exec bench/main.exe ablation   # design-choice ablations
+     dune exec bench/main.exe scaling    # multicore speedup + portfolio
      dune exec bench/main.exe micro      # Bechamel micro-benchmarks *)
 
 let section title =
@@ -245,6 +246,116 @@ let ablation () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: domain-parallel exploration at 1/2/4 workers, and the
+   racing portfolio against each single engine.  The report records the
+   host's recommended domain count: on a single-core host the speedup
+   column measures sharding/steal overhead, not parallelism, and reads
+   near (or below) 1x by design.                                       *)
+
+let scaling () =
+  let module J = Gpo_obs.Json in
+  section "Scaling — domain-parallel explicit exploration (1/2/4 workers)";
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "host: %d recommended domain(s); speedup is vs the same binary at jobs=1@.@."
+    cores;
+  let nets =
+    if smoke then
+      [ ("nsdp-6", Models.Nsdp.make 6); ("rw-8", Models.Rw.make 8) ]
+    else
+      [
+        ("nsdp-7", Models.Nsdp.make 7);
+        ("rw-11", Models.Rw.make 11);
+        ("fig2-9", Models.Figures.fig2 9);
+        ("asat-4", Models.Asat.make 4);
+      ]
+  in
+  let reps = if smoke then 2 else 3 in
+  let job_counts = [ 1; 2; 4 ] in
+  Format.printf "%-10s %10s %6s %10s %9s@." "net" "states" "jobs" "time"
+    "speedup";
+  let rows = ref [] in
+  List.iter
+    (fun (name, net) ->
+      let base = ref nan in
+      List.iter
+        (fun jobs ->
+          let best = ref infinity and states = ref 0 in
+          for _ = 1 to reps do
+            let r, t =
+              time (fun () -> Petri.Reachability.explore_par ~jobs net)
+            in
+            if t < !best then best := t;
+            states := r.Petri.Reachability.states
+          done;
+          if jobs = 1 then base := !best;
+          let speedup = !base /. !best in
+          Format.printf "%-10s %10d %6d %9.3fs %8.2fx@." name !states jobs
+            !best speedup;
+          rows :=
+            J.Obj
+              [
+                ("net", J.String name);
+                ("jobs", J.Int jobs);
+                ("states", J.Int !states);
+                ("time_s", J.Float !best);
+                ("speedup", J.Float speedup);
+              ]
+            :: !rows)
+        job_counts;
+      Format.printf "@.")
+    nets;
+  section "Scaling — racing portfolio vs the single engines";
+  let pf_rows = ref [] in
+  let pf_nets =
+    if smoke then [ ("nsdp-4", Models.Nsdp.make 4) ]
+    else [ ("nsdp-6", Models.Nsdp.make 6); ("over-4", Models.Over.make 4) ]
+  in
+  List.iter
+    (fun (name, net) ->
+      let singles =
+        List.map
+          (fun kind ->
+            let o = Harness.Engine.run ~gpo_scan:true kind net in
+            (Harness.Engine.name kind, o.Harness.Engine.time_s))
+          Harness.Engine.all
+      in
+      let r, t = time (fun () -> Harness.Portfolio.run ~gpo_scan:true net) in
+      let winner =
+        Harness.Engine.name r.Harness.Portfolio.outcome.Harness.Engine.kind
+      in
+      let best_name, best_t =
+        List.fold_left
+          (fun (bn, bt) (n, t) -> if t < bt then (n, t) else (bn, bt))
+          ("", infinity) singles
+      in
+      Format.printf
+        "%-10s portfolio %.3fs (winner: %s) — best single: %s %.3fs@." name t
+        winner best_name best_t;
+      pf_rows :=
+        J.Obj
+          [
+            ("net", J.String name);
+            ("portfolio_time_s", J.Float t);
+            ("winner", J.String winner);
+            ("cancelled_losers", J.Int r.Harness.Portfolio.cancelled_losers);
+            ("best_single", J.String best_name);
+            ("best_single_time_s", J.Float best_t);
+            ("singles", J.Obj (List.map (fun (n, t) -> (n, J.Float t)) singles));
+          ]
+        :: !pf_rows)
+    pf_nets;
+  write_report "scaling"
+    (J.Obj
+       [
+         ("table", J.String "scaling");
+         ("cores", J.Int cores);
+         ("smoke", J.Bool smoke);
+         ("exploration", J.List (List.rev !rows));
+         ("portfolio", J.List (List.rev !pf_rows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one grouped test per Table 1 family and
    one per figure, timing the verification kernels.                    *)
 
@@ -411,7 +522,7 @@ let () =
   let jobs =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> [ "table1"; "fig1"; "fig2"; "ablation"; "micro" ]
+    | _ -> [ "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "micro" ]
   in
   List.iter
     (function
@@ -419,9 +530,12 @@ let () =
       | "fig1" -> fig1 ()
       | "fig2" -> fig2 ()
       | "ablation" -> ablation ()
+      | "scaling" -> scaling ()
       | "micro" -> micro ()
       | other ->
           Format.eprintf
-            "unknown job %S (expected table1, fig1, fig2, ablation, micro)@." other;
+            "unknown job %S (expected table1, fig1, fig2, ablation, scaling, \
+             micro)@."
+            other;
           exit 2)
     jobs

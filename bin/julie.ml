@@ -94,10 +94,9 @@ let with_obs opts f =
 
 (* One instrumented engine run: telemetry is reset so the summary and
    the emitted totals cover exactly this run. *)
-let observed_run opts ~net_name kind f =
+let observed_run opts ~net_name ~engine f =
   Gpo_obs.reset ();
-  Gpo_obs.meta "run"
-    [ ("net", Gpo_obs.S net_name); ("engine", Gpo_obs.S (Harness.Engine.name kind)) ];
+  Gpo_obs.meta "run" [ ("net", Gpo_obs.S net_name); ("engine", Gpo_obs.S engine) ];
   let outcome = f () in
   Gpo_obs.emit_snapshot ();
   if opts.stats then Format.printf "%a@." Gpo_obs.pp_summary (Gpo_obs.snapshot ());
@@ -152,19 +151,69 @@ let max_states_arg =
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 
+let parse_engine = function
+  | "full" -> Ok Harness.Engine.Full
+  | "po" | "spin+po" | "stubborn" -> Ok Harness.Engine.Stubborn
+  | "smv" | "bdd" | "symbolic" -> Ok Harness.Engine.Symbolic
+  | "gpo" -> Ok Harness.Engine.Gpo
+  | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+
 let engine_conv =
+  Arg.conv
+    (parse_engine, fun ppf k -> Format.pp_print_string ppf (Harness.Engine.name k))
+
+(* Engine selection for the verdict commands: one engine, or the racing
+   portfolio of [Harness.Portfolio]. *)
+type engine_sel = Single of Harness.Engine.kind | Portfolio
+
+let sel_name = function
+  | Single k -> Harness.Engine.name k
+  | Portfolio -> "portfolio"
+
+let engine_sel_conv =
   let parse = function
-    | "full" -> Ok Harness.Engine.Full
-    | "po" | "spin+po" | "stubborn" -> Ok Harness.Engine.Stubborn
-    | "smv" | "bdd" | "symbolic" -> Ok Harness.Engine.Symbolic
-    | "gpo" -> Ok Harness.Engine.Gpo
-    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+    | "portfolio" -> Ok Portfolio
+    | s -> Result.map (fun k -> Single k) (parse_engine s)
   in
-  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Harness.Engine.name k))
+  Arg.conv (parse, fun ppf sel -> Format.pp_print_string ppf (sel_name sel))
 
 let engines_arg =
-  let doc = "Engine to run: full, po, smv or gpo (repeatable; default all)." in
-  Arg.(value & opt_all engine_conv [] & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+  let doc =
+    "Engine to run: full, po, smv, gpo, or portfolio (race the engines in \
+     separate domains, first conclusive verdict wins).  Repeatable; default \
+     all four single engines."
+  in
+  Arg.(value & opt_all engine_sel_conv [] & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the explicit engines' parallel exploration (full and \
+     po); 0 means auto (the recommended domain count for this machine).  \
+     With $(b,-e portfolio) the racing entrants additionally get $(docv) \
+     workers each for their own exploration."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs n = if n <= 0 then Par.Pool.default_jobs () else n
+
+(* Run one selection.  The portfolio races for the verdict itself, so
+   its GPO entrant always uses the hardened (scan) configuration —
+   the paper configuration can miss deadlocks. *)
+let run_sel ~max_states ~witness ~gpo_scan ~jobs sel net =
+  match sel with
+  | Single kind -> Harness.Engine.run ~max_states ~witness ~gpo_scan ~jobs kind net
+  | Portfolio ->
+      let r =
+        Harness.Portfolio.run ~max_states ~witness ~gpo_scan:true ~jobs net
+      in
+      Format.printf "portfolio: %s won [%s]%s@."
+        (Harness.Engine.name r.Harness.Portfolio.outcome.Harness.Engine.kind)
+        (String.concat " " (List.map Harness.Engine.name r.Harness.Portfolio.raced))
+        (if r.Harness.Portfolio.cancelled_losers > 0 then
+           Printf.sprintf ", %d loser(s) cancelled"
+             r.Harness.Portfolio.cancelled_losers
+         else "");
+      r.Harness.Portfolio.outcome
 
 let witness_arg =
   let doc =
@@ -174,18 +223,23 @@ let witness_arg =
   in
   Arg.(value & flag & info [ "w"; "witness" ] ~doc)
 
-let analyze file builtin size engines max_states witness obs =
+let analyze file builtin size engines max_states jobs witness obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
-  let engines = if engines = [] then Harness.Engine.all else engines in
+  let jobs = resolve_jobs jobs in
+  let engines =
+    if engines = [] then List.map (fun k -> Single k) Harness.Engine.all
+    else engines
+  in
   with_obs obs @@ fun () ->
   let outcomes =
     List.map
-      (fun kind ->
+      (fun sel ->
         let o =
-          observed_run obs ~net_name:net.Petri.Net.name kind (fun () ->
-              Harness.Engine.run ~max_states ~witness kind net)
+          observed_run obs ~net_name:net.Petri.Net.name ~engine:(sel_name sel)
+            (fun () ->
+              run_sel ~max_states ~witness ~gpo_scan:false ~jobs sel net)
         in
         Format.printf "%a@." Harness.Engine.pp_outcome o;
         (match o.Harness.Engine.witness with
@@ -212,15 +266,18 @@ let analyze_cmd =
   in
   Cmd.v info
     Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ witness_arg $ obs_term)
+          $ max_states_arg $ jobs_arg $ witness_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
 
-let trace file builtin size engine max_states =
+let trace file builtin size engine max_states jobs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
-  let o = Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true engine net in
+  let jobs = resolve_jobs jobs in
+  let o =
+    Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true ~jobs engine net
+  in
   match o.Harness.Engine.witness with
   | Some tr ->
       Format.printf "@[<v>deadlock reached by:@ %a@ @ %a@]@." (Petri.Trace.pp net) tr
@@ -257,7 +314,8 @@ let trace_cmd =
             chosen engine (default gpo) and replayed step by step."
   in
   Cmd.v info
-    Term.(const trace $ file_arg $ model_arg $ size_arg $ engine $ max_states_arg)
+    Term.(const trace $ file_arg $ model_arg $ size_arg $ engine $ max_states_arg
+          $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / fig                                                        *)
@@ -339,7 +397,7 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 (* safety                                                              *)
 
-let safety file builtin size cover engine obs =
+let safety file builtin size cover engine jobs obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   if cover = [] then failwith "--place PLACE (repeatable) is required";
@@ -350,13 +408,16 @@ let safety file builtin size cover engine obs =
     }
   in
   let monitored = Petri.Safety.monitor net property in
+  let jobs = resolve_jobs jobs in
   with_obs obs @@ fun () ->
   let outcome =
     (* gpo_scan: the verdict itself is the product here, so the GPO
        engine must run in its complete (hardened) configuration — the
        paper configuration can miss covering markings. *)
-    observed_run obs ~net_name:monitored.Petri.Net.name engine (fun () ->
-        Harness.Engine.run ~witness:true ~gpo_scan:true engine monitored)
+    observed_run obs ~net_name:monitored.Petri.Net.name
+      ~engine:(sel_name engine) (fun () ->
+        run_sel ~max_states:5_000_000 ~witness:true ~gpo_scan:true ~jobs engine
+          monitored)
   in
   if outcome.Harness.Engine.deadlock then begin
     Format.printf "VIOLATED: {%s} can be marked simultaneously@."
@@ -377,9 +438,11 @@ let safety file builtin size cover engine obs =
   else begin
     Format.printf "holds: {%s} never marked simultaneously (%s engine, %.0f %s)@."
       (String.concat ", " cover)
-      (Harness.Engine.name engine)
+      (Harness.Engine.name outcome.Harness.Engine.kind)
       outcome.Harness.Engine.metric
-      (match engine with Harness.Engine.Symbolic -> "peak nodes" | _ -> "states");
+      (match outcome.Harness.Engine.kind with
+      | Harness.Engine.Symbolic -> "peak nodes"
+      | _ -> "states");
     exit_holds
   end
 
@@ -389,8 +452,9 @@ let safety_cmd =
            ~doc:"Place of the cover to check (repeatable): the property is                  that all given places are never marked at once.")
   in
   let engine =
-    Arg.(value & opt engine_conv Harness.Engine.Gpo
-           & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"Engine for the deadlock check.")
+    Arg.(value & opt engine_sel_conv (Single Harness.Engine.Gpo)
+           & info [ "e"; "engine" ] ~docv:"ENGINE"
+               ~doc:"Engine for the deadlock check (or portfolio).")
   in
   let info =
     Cmd.info "safety" ~exits:verdict_exits
@@ -399,15 +463,20 @@ let safety_cmd =
             on usage errors."
   in
   Cmd.v info
-    Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine $ obs_term)
+    Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine
+          $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
 
-let certify file builtin size engines max_states cover obs =
+let certify file builtin size engines max_states jobs cover obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
-  let engines = if engines = [] then Harness.Engine.all else engines in
+  let jobs = resolve_jobs jobs in
+  let engines =
+    if engines = [] then List.map (fun k -> Single k) Harness.Engine.all
+    else engines
+  in
   let property =
     match cover with
     | [] -> None
@@ -424,18 +493,18 @@ let certify file builtin size engines max_states cover obs =
   with_obs obs @@ fun () ->
   let verdicts =
     List.map
-      (fun kind ->
+      (fun sel ->
         let o =
-          observed_run obs ~net_name:target.Petri.Net.name kind (fun () ->
-              Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true kind
-                target)
+          observed_run obs ~net_name:target.Petri.Net.name
+            ~engine:(sel_name sel) (fun () ->
+              run_sel ~max_states ~witness:true ~gpo_scan:true ~jobs sel target)
         in
         let v =
           match property with
           | None -> Harness.Certify.deadlock net o
           | Some p -> Harness.Certify.safety net p o
         in
-        Format.printf "@[<v 2>%-8s %a@]@." (Harness.Engine.name kind)
+        Format.printf "@[<v 2>%-8s %a@]@." (sel_name sel)
           (Harness.Certify.pp net) v;
         v)
       engines
@@ -468,7 +537,7 @@ let certify_cmd =
   in
   Cmd.v info
     Term.(const certify $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ cover $ obs_term)
+          $ max_states_arg $ jobs_arg $ cover $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* siphons                                                             *)

@@ -145,7 +145,8 @@ let reconstruct enc layers target =
   in
   walk depth target []
 
-let analyse ?(partitioned = true) ?(witness = false) (net : Petri.Net.t) =
+let analyse ?(partitioned = true) ?(witness = false) ?cancel
+    (net : Petri.Net.t) =
   let t0 = Unix.gettimeofday () in
   Gpo_obs.Counter.touch c_iterations;
   let enc = Gpo_obs.Span.time "smv.encode" (fun () -> Internal.encode net) in
@@ -162,6 +163,7 @@ let analyse ?(partitioned = true) ?(witness = false) (net : Petri.Net.t) =
      when a witness was requested (each layer pins its BDD live). *)
   let layers = ref [ enc.initial ] in
   let rec fixpoint reached frontier iterations =
+    Par.Cancel.check_opt cancel;
     if Bdd.is_zero frontier then (reached, iterations)
     else begin
       let successors = Gpo_obs.Span.time "smv.image" (fun () -> image frontier) in

@@ -27,14 +27,19 @@ type result = {
   time_s : float;  (** Wall-clock time of the analysis. *)
 }
 
-val analyse : ?partitioned:bool -> ?witness:bool -> Petri.Net.t -> result
+val analyse :
+  ?partitioned:bool -> ?witness:bool -> ?cancel:Par.Cancel.t ->
+  Petri.Net.t -> result
 (** Run the symbolic reachability analysis.  [partitioned] (default
     [true]) keeps one relation per transition and accumulates the
     per-transition images; [false] builds the monolithic disjunction
     first (the ablation bench compares both).  [witness] (default
     [false]) retains the frontier layers during the fixpoint and, if a
     deadlock exists, reconstructs a concrete firing sequence to it
-    (reported in the [witness] field; costs one live BDD per layer). *)
+    (reported in the [witness] field; costs one live BDD per layer).
+    [cancel] is polled once per fixpoint iteration; each analysis owns
+    a fresh BDD manager, so the engine is domain-safe and needs no
+    further synchronisation. *)
 
 val reachable_count : Petri.Net.t -> float
 (** Convenience: just the number of reachable markings. *)

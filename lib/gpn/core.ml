@@ -20,6 +20,24 @@
    before being scheduled, and witness marking lists are sorted.  This
    also makes any single representation deterministic run-to-run. *)
 
+(* The world-set representations behind both instances keep global
+   mutable state (the hash-consing uid supply and memoized set-algebra
+   caches) that is not safe to touch from two domains at once.  Rather
+   than pushing a lock into every set operation — the tuned hot path —
+   the engine serialises at its entry points: [analyse] and
+   [deadlock_trace] run under this process-wide lock, shared by the
+   [Hashconsed] and [Tree] instances.  The portfolio racer still runs
+   GPO concurrently with the other engines (which have no shared
+   state); only a second simultaneous GPO analysis would queue, and the
+   lock is uncontended in single-engine runs.  Cooperative cancellation
+   ([?cancel]) unwinds through [Fun.protect], so a cancelled analysis
+   always releases the lock. *)
+let gpn_lock = Mutex.create ()
+
+let with_gpn_lock f =
+  Mutex.lock gpn_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock gpn_lock) f
+
 module Make (W : World_set_intf.S) = struct
   module Bitset = Petri.Bitset
 
@@ -695,7 +713,7 @@ module Make (W : World_set_intf.S) = struct
       walk marking
 
     let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
-        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ctx =
+        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ?cancel ctx =
       let net = Dynamics.net ctx in
       let choice = Dynamics.choice_transitions ctx in
       let partner_pre = partner_presets ctx in
@@ -729,6 +747,7 @@ module Make (W : World_set_intf.S) = struct
       in
       schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
       while not (Queue.is_empty pending) do
+        Par.Cancel.check_opt cancel;
         let root, origin = Queue.pop pending in
         (match origin with
         | Init -> ()
@@ -756,6 +775,7 @@ module Make (W : World_set_intf.S) = struct
         incr total_states;
         Gpo_obs.Counter.incr c_states;
         while !current <> None do
+          Par.Cancel.check_opt cancel;
           let s, prev_rejections =
             match !current with Some v -> v | None -> assert false
           in
@@ -987,8 +1007,10 @@ module Make (W : World_set_intf.S) = struct
         truncated = !truncated;
       }
 
-    let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks net =
-      explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks
+    let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?cancel
+        net =
+      with_gpn_lock @@ fun () ->
+      explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?cancel
         (Dynamics.make net)
 
     let deadlock_free result = result.deadlocks = []
@@ -1030,6 +1052,7 @@ module Make (W : World_set_intf.S) = struct
     let d_witness_len = Gpo_obs.Dist.make "gpo.witness.length"
 
     let deadlock_trace result witness =
+      with_gpn_lock @@ fun () ->
       Gpo_obs.Span.time "gpo.witness" @@ fun () ->
       let ctx = result.ctx in
       let v = W.choose witness.worlds in

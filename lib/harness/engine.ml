@@ -33,13 +33,19 @@ let explicit_witness (r : Petri.Reachability.result) =
         (Gpo_obs.Span.time "reach.witness" (fun () ->
              Petri.Reachability.trace_to r m))
 
-let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false) kind net =
+let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false)
+    ?cancel ?(jobs = 1) kind net =
   Gpo_obs.Span.time ("engine." ^ name kind) @@ fun () ->
   match kind with
   | Full ->
       let r, time_s =
         timed (fun () ->
-            Petri.Reachability.explore ~max_states ~traces:witness net)
+            if jobs > 1 then
+              Petri.Reachability.explore_par ~jobs ~max_states ~traces:witness
+                ?cancel net
+            else
+              Petri.Reachability.explore ~max_states ~traces:witness ?cancel
+                net)
       in
       {
         kind;
@@ -52,7 +58,12 @@ let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false) kind ne
       }
   | Stubborn ->
       let r, time_s =
-        timed (fun () -> Petri.Stubborn.explore ~max_states ~traces:witness net)
+        timed (fun () ->
+            if jobs > 1 then
+              Petri.Stubborn.explore_par ~jobs ~max_states ~traces:witness
+                ?cancel net
+            else
+              Petri.Stubborn.explore ~max_states ~traces:witness ?cancel net)
       in
       {
         kind;
@@ -64,7 +75,9 @@ let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false) kind ne
         witness = (if witness then explicit_witness r else None);
       }
   | Symbolic ->
-      let r, time_s = timed (fun () -> Bddkit.Symbolic.analyse ~witness net) in
+      let r, time_s =
+        timed (fun () -> Bddkit.Symbolic.analyse ~witness ?cancel net)
+      in
       {
         kind;
         states = r.states;
@@ -81,7 +94,8 @@ let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false) kind ne
          hardened default (scan = true), the configuration certification
          and conformance tooling must use. *)
       let r, time_s =
-        timed (fun () -> Gpn.Explorer.analyse ~scan:gpo_scan ~max_states net)
+        timed (fun () ->
+            Gpn.Explorer.analyse ~scan:gpo_scan ~max_states ?cancel net)
       in
       let trace =
         match r.Gpn.Explorer.deadlocks with

@@ -36,12 +36,21 @@ val name : kind -> string
 (** Display name ("full", "spin+po", "smv", "gpo"). *)
 
 val run :
-  ?max_states:int -> ?witness:bool -> ?gpo_scan:bool -> kind -> Petri.Net.t -> outcome
+  ?max_states:int -> ?witness:bool -> ?gpo_scan:bool ->
+  ?cancel:Par.Cancel.t -> ?jobs:int -> kind -> Petri.Net.t -> outcome
 (** Run one engine.  [max_states] (default [5_000_000]) bounds the
     explicit engines and GPO; the symbolic engine ignores it.
     [witness] (default [false]) makes a [deadlock = true] verdict carry
     a counterexample firing sequence (costs predecessor recording /
     frontier-layer retention during the run).
+
+    [cancel] is a cooperative cancellation token polled in every
+    engine's step loop; a set token unwinds the run with
+    [Par.Cancel.Cancelled] (used by {!Portfolio} to stop the losers).
+    [jobs] (default [1]) selects domain-parallel exploration for the
+    explicit engines ([Full]/[Stubborn] via
+    {!Petri.Reachability.explore_par}); the symbolic and GPO engines
+    are single-domain by design and ignore it.
 
     [gpo_scan] (default [false]) selects the GPO configuration and is
     ignored by the other engines.  The default is the paper-faithful

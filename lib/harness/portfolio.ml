@@ -1,0 +1,133 @@
+(* Racing engine portfolio: run several engines on the same net in
+   separate domains, return the first conclusive verdict, cancel the
+   rest.
+
+   "Conclusive" means the verdict cannot change with more budget: a
+   deadlock was found (sound for every engine we race), or the engine
+   finished without truncation.  A truncated deadlock-free outcome is a
+   non-answer, so a racer that truncates keeps losing to slower engines
+   that finish.
+
+   Cancellation is cooperative: all entrants share one {!Par.Cancel}
+   token, checked in every engine's step loop, and the first entrant to
+   post a conclusive outcome sets it.  Losers unwind with
+   [Par.Cancel.Cancelled] inside their own domain; the coordinator
+   joins every domain before reporting, so no engine outlives the race.
+
+   Telemetry: aggregate counters and gauges accumulate globally from
+   every domain (they are atomic), so engine counters reflect all the
+   work done by the race, winners and losers alike.  The event stream
+   would interleave incoherently, so each entrant runs under
+   [Gpo_obs.Scoped.capture] and only the winner's events are replayed
+   into the sink, followed by a [portfolio] meta record naming the
+   winner and the fate of each loser. *)
+
+let c_races = Gpo_obs.Counter.make "portfolio.races"
+let c_entrants = Gpo_obs.Counter.make "portfolio.entrants"
+let c_cancelled = Gpo_obs.Counter.make "portfolio.cancelled_losers"
+
+type entry =
+  | Done of Engine.outcome * Gpo_obs.event list
+  | Cancelled
+  | Failed of exn * Printexc.raw_backtrace
+
+type report = {
+  outcome : Engine.outcome;
+  raced : Engine.kind list;
+  conclusive : bool;
+  cancelled_losers : int;
+}
+
+let conclusive (o : Engine.outcome) = o.deadlock || not o.truncated
+
+let fate = function
+  | Done (o, _) ->
+      if conclusive o then "conclusive"
+      else "inconclusive"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "failed"
+
+let run ?max_states ?witness ?gpo_scan ?jobs
+    ?(engines = [ Engine.Stubborn; Engine.Symbolic; Engine.Gpo ]) net =
+  if engines = [] then invalid_arg "Portfolio.run: empty engine list";
+  Gpo_obs.Counter.incr c_races;
+  Gpo_obs.Counter.add c_entrants (List.length engines);
+  Gpo_obs.Counter.touch c_cancelled;
+  let token = Par.Cancel.create () in
+  let winner : (Engine.kind * entry) option Atomic.t = Atomic.make None in
+  let race kind () =
+    let entry =
+      match
+        Gpo_obs.Scoped.capture (fun () ->
+            Engine.run ?max_states ?witness ?gpo_scan ?jobs ~cancel:token kind
+              net)
+      with
+      | o, events -> Done (o, events)
+      | exception Par.Cancel.Cancelled -> Cancelled
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    (match entry with
+    | Done (o, _) when conclusive o ->
+        if Atomic.compare_and_set winner None (Some (kind, entry)) then
+          Par.Cancel.cancel token
+    | _ -> ());
+    (kind, entry)
+  in
+  let entries =
+    match engines with
+    | [ only ] -> [ race only () ]
+    | _ ->
+        (* One domain per engine; the coordinator joins them all, so
+           every loser has fully unwound before we read the results. *)
+        let domains = List.map (fun k -> Domain.spawn (race k)) engines in
+        List.map Domain.join domains
+  in
+  let cancelled_losers =
+    List.length (List.filter (fun (_, e) -> e = Cancelled) entries)
+  in
+  Gpo_obs.Counter.add c_cancelled cancelled_losers;
+  (* The CAS winner is the first conclusive arrival.  With none (every
+     entrant truncated or failed), fall back to the completed outcome
+     that got furthest, and failing that re-raise the first error. *)
+  let chosen =
+    match Atomic.get winner with
+    | Some (kind, Done (o, events)) -> Some (kind, o, events)
+    | Some _ -> assert false
+    | None ->
+        List.filter_map
+          (function
+            | kind, Done (o, events) -> Some (kind, o, events) | _ -> None)
+          entries
+        |> List.sort (fun (_, (a : Engine.outcome), _) (_, b, _) ->
+               compare b.Engine.states a.Engine.states)
+        |> function
+        | best :: _ -> Some best
+        | [] -> None
+  in
+  match chosen with
+  | None -> (
+      match
+        List.find_map
+          (function _, Failed (e, bt) -> Some (e, bt) | _ -> None)
+          entries
+      with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          (* Only reachable if an external token cancelled the whole
+             race before any entrant concluded. *)
+          raise Par.Cancel.Cancelled)
+  | Some (winner_kind, outcome, events) ->
+      Gpo_obs.Scoped.replay events;
+      Gpo_obs.meta "portfolio"
+        (("winner", Gpo_obs.S (Engine.name winner_kind))
+        :: ("conclusive", Gpo_obs.B (conclusive outcome))
+        :: List.map
+             (fun (kind, entry) ->
+               (Engine.name kind, Gpo_obs.S (fate entry)))
+             entries);
+      {
+        outcome;
+        raced = engines;
+        conclusive = conclusive outcome;
+        cancelled_losers;
+      }

@@ -1,0 +1,45 @@
+(** Racing engine portfolio.
+
+    Runs several engines on the same net concurrently, one domain per
+    engine, and returns the first {e conclusive} verdict: a found
+    deadlock, or a completed (non-truncated) deadlock-free analysis.  A
+    truncated deadlock-free outcome is inconclusive and keeps racing's
+    losers alive; the winner's cancellation token stops every other
+    entrant cooperatively (each engine polls it in its step loop).
+
+    The winning outcome is exactly what {!Engine.run} would have
+    produced — including the certified witness when [witness] was
+    requested — so all downstream tooling (certification, exit codes)
+    is unchanged.  Counters and gauges aggregate the work of all
+    entrants; the event stream carries only the winner's events plus a
+    [portfolio] meta record naming the winner and each loser's fate. *)
+
+type report = {
+  outcome : Engine.outcome;  (** The winning engine's outcome. *)
+  raced : Engine.kind list;  (** The entrants, in the order given. *)
+  conclusive : bool;
+      (** [false] only when every entrant truncated: [outcome] is then
+          the furthest-progressed truncated result (still exit 2). *)
+  cancelled_losers : int;
+      (** Entrants that unwound via [Par.Cancel.Cancelled] — the
+          cancellation handshake observed, which the tests assert. *)
+}
+
+val run :
+  ?max_states:int ->
+  ?witness:bool ->
+  ?gpo_scan:bool ->
+  ?jobs:int ->
+  ?engines:Engine.kind list ->
+  Petri.Net.t ->
+  report
+(** Race [engines] (default [Stubborn; Symbolic; Gpo] — the three
+    reduced engines; add [Full] explicitly if wanted) on [net].
+    [max_states], [witness] and [gpo_scan] are forwarded to every
+    {!Engine.run}; [jobs] additionally lets the explicit entrants use
+    domain-parallel exploration inside their own race lane.  With a
+    single entrant the race degenerates to an inline {!Engine.run}.
+    Raises the first entrant error if no entrant produced any outcome.
+
+    Telemetry: [portfolio.races], [portfolio.entrants],
+    [portfolio.cancelled_losers]. *)

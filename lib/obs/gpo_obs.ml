@@ -1,5 +1,12 @@
-(* Global telemetry registry + pluggable event sinks.  Single-threaded
-   by design, like the engines: all state is plain mutable cells. *)
+(* Global telemetry registry + pluggable event sinks.
+
+   Domain-safe: counters and gauges are atomic cells, distributions
+   take a per-cell mutex, the registry tables and the installed sink
+   are guarded by mutexes, and the span scope stack is domain-local.
+   Events emitted while a [Scoped] buffer is active on the current
+   domain are retained there instead of hitting the shared sink; the
+   spawning code replays them at report time, so a JSONL trace stays
+   one coherent stream even with engines racing in parallel. *)
 
 module Json = struct
   type t =
@@ -358,8 +365,25 @@ let memory_sink () =
 (* ------------------------------------------------------------------ *)
 (* Global sink state                                                   *)
 
+(* [sink_mutex] serializes emissions from concurrent domains so JSONL
+   lines never interleave; [registry_mutex] guards the metric tables
+   and the other shared aggregation state (span totals, progress rate
+   limiter).  Both are leaf locks: no code calls out while holding
+   them. *)
+let sink_mutex = Mutex.create ()
+let registry_mutex = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let current_sink : sink option ref = ref None
 let epoch = ref 0.0
+
+(* Per-domain capture buffer: when set, events emitted from this domain
+   are retained locally instead of being pushed to the shared sink. *)
+let scoped_buffer : event list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let install sink =
   current_sink := Some sink;
@@ -374,19 +398,45 @@ let enabled () = !current_sink <> None
 let emit kind name fields =
   match !current_sink with
   | None -> ()
-  | Some sink ->
-      sink.emit { time = Unix.gettimeofday () -. !epoch; kind; name; fields }
+  | Some sink -> (
+      let e = { time = Unix.gettimeofday () -. !epoch; kind; name; fields } in
+      match Domain.DLS.get scoped_buffer with
+      | Some buf -> buf := e :: !buf
+      | None -> with_lock sink_mutex (fun () -> sink.emit e))
 
 let meta name fields = emit Meta_v name fields
+
+module Scoped = struct
+  let capture f =
+    let buf = ref [] in
+    let previous = Domain.DLS.get scoped_buffer in
+    Domain.DLS.set scoped_buffer (Some buf);
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set scoped_buffer previous)
+      (fun () ->
+        let v = f () in
+        (v, List.rev !buf))
+
+  let replay events =
+    match !current_sink with
+    | None -> ()
+    | Some sink -> with_lock sink_mutex (fun () -> List.iter sink.emit events)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 
-type counter_cell = { c_name : string; mutable c_value : int; mutable c_touched : bool }
-type gauge_cell = { g_name : string; mutable g_value : float; mutable g_touched : bool }
+(* Counters and gauges are single atomic cells (engines hammer them
+   from worker domains); distributions update four fields together, so
+   they carry their own small mutex.  [touched] flags are plain atomic
+   stores — the extra write is skipped once set to keep the cache line
+   quiet on hot counters. *)
+type counter_cell = { c_name : string; c_value : int Atomic.t; c_touched : bool Atomic.t }
+type gauge_cell = { g_name : string; g_value : float Atomic.t; g_touched : bool Atomic.t }
 
 type dist_cell = {
   d_name : string;
+  d_lock : Mutex.t;
   mutable d_count : int;
   mutable d_sum : float;
   mutable d_min : float;
@@ -404,23 +454,27 @@ module Counter = struct
   type t = counter_cell
 
   let make name =
-    match Hashtbl.find_opt counters name with
-    | Some c -> c
-    | None ->
-        let c = { c_name = name; c_value = 0; c_touched = false } in
-        Hashtbl.add counters name c;
-        c
+    with_lock registry_mutex (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some c -> c
+        | None ->
+            let c =
+              { c_name = name; c_value = Atomic.make 0; c_touched = Atomic.make false }
+            in
+            Hashtbl.add counters name c;
+            c)
+
+  let touch c = if not (Atomic.get c.c_touched) then Atomic.set c.c_touched true
 
   let incr c =
-    c.c_value <- c.c_value + 1;
-    c.c_touched <- true
+    Atomic.incr c.c_value;
+    touch c
 
   let add c n =
-    c.c_value <- c.c_value + n;
-    c.c_touched <- true
+    ignore (Atomic.fetch_and_add c.c_value n);
+    touch c
 
-  let touch c = c.c_touched <- true
-  let value c = c.c_value
+  let value c = Atomic.get c.c_value
   let name c = c.c_name
 end
 
@@ -428,37 +482,52 @@ module Gauge = struct
   type t = gauge_cell
 
   let make name =
-    match Hashtbl.find_opt gauges name with
-    | Some g -> g
-    | None ->
-        let g = { g_name = name; g_value = 0.0; g_touched = false } in
-        Hashtbl.add gauges name g;
-        g
+    with_lock registry_mutex (fun () ->
+        match Hashtbl.find_opt gauges name with
+        | Some g -> g
+        | None ->
+            let g =
+              { g_name = name; g_value = Atomic.make 0.0; g_touched = Atomic.make false }
+            in
+            Hashtbl.add gauges name g;
+            g)
 
   let set g v =
-    g.g_value <- v;
-    g.g_touched <- true
+    Atomic.set g.g_value v;
+    if not (Atomic.get g.g_touched) then Atomic.set g.g_touched true
 
   let set_int g v = set g (float_of_int v)
-  let value g = g.g_value
+  let value g = Atomic.get g.g_value
 end
 
 module Dist = struct
   type t = dist_cell
 
   let make name =
-    match Hashtbl.find_opt dists name with
-    | Some d -> d
-    | None ->
-        let d = { d_name = name; d_count = 0; d_sum = 0.0; d_min = infinity; d_max = neg_infinity } in
-        Hashtbl.add dists name d;
-        d
+    with_lock registry_mutex (fun () ->
+        match Hashtbl.find_opt dists name with
+        | Some d -> d
+        | None ->
+            let d =
+              {
+                d_name = name;
+                d_lock = Mutex.create ();
+                d_count = 0;
+                d_sum = 0.0;
+                d_min = infinity;
+                d_max = neg_infinity;
+              }
+            in
+            Hashtbl.add dists name d;
+            d)
 
   let observe d v =
+    Mutex.lock d.d_lock;
     d.d_count <- d.d_count + 1;
     d.d_sum <- d.d_sum +. v;
     if v < d.d_min then d.d_min <- v;
-    if v > d.d_max then d.d_max <- v
+    if v > d.d_max then d.d_max <- v;
+    Mutex.unlock d.d_lock
 
   let observe_int d v = observe d (float_of_int v)
   let count d = d.d_count
@@ -468,10 +537,12 @@ end
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 
-let span_stack : string list ref = ref []
+(* The scope stack is domain-local: spans nested on one domain must not
+   see scopes opened on another. *)
+let span_stack : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
 let span_path name =
-  match !span_stack with
+  match !(Domain.DLS.get span_stack) with
   | [] -> name
   | stack -> String.concat "/" (List.rev (name :: stack))
 
@@ -485,26 +556,29 @@ module Span = struct
     if !current_sink = None then Float.nan
     else begin
       let path = span_path name in
-      span_stack := name :: !span_stack;
+      let stack = Domain.DLS.get span_stack in
+      stack := name :: !stack;
       emit Span_v path [ ("phase", S "begin") ];
       Unix.gettimeofday ()
     end
 
   let exit (t0 : t) =
     if not (Float.is_nan t0) then begin
-      let name = match !span_stack with n :: rest -> span_stack := rest; n | [] -> "?" in
+      let stack = Domain.DLS.get span_stack in
+      let name = match !stack with n :: rest -> stack := rest; n | [] -> "?" in
       let path = span_path name in
       let dur = Unix.gettimeofday () -. t0 in
-      let cell =
-        match Hashtbl.find_opt span_totals path with
-        | Some c -> c
-        | None ->
-            let c = { sp_count = 0; sp_total = 0.0 } in
-            Hashtbl.add span_totals path c;
-            c
-      in
-      cell.sp_count <- cell.sp_count + 1;
-      cell.sp_total <- cell.sp_total +. dur;
+      with_lock registry_mutex (fun () ->
+          let cell =
+            match Hashtbl.find_opt span_totals path with
+            | Some c -> c
+            | None ->
+                let c = { sp_count = 0; sp_total = 0.0 } in
+                Hashtbl.add span_totals path c;
+                c
+          in
+          cell.sp_count <- cell.sp_count + 1;
+          cell.sp_total <- cell.sp_total +. dur);
       emit Span_v path [ ("phase", S "end"); ("dur_s", F dur) ]
     end
 
@@ -549,8 +623,12 @@ module Progress = struct
       fields;
     Buffer.contents buf
 
+  (* The rate limiter table is shared: take the registry mutex for the
+     whole sample.  Lock order is registry → sink (emit); nothing takes
+     them the other way around. *)
   let sample name thunk =
-    if !current_sink <> None || !heartbeat <> None then begin
+    if !current_sink <> None || !heartbeat <> None then
+      with_lock registry_mutex @@ fun () ->
       let now = Unix.gettimeofday () in
       let prev = Hashtbl.find_opt last name in
       let due =
@@ -576,7 +654,6 @@ module Progress = struct
         | Some print -> print (render name fields)
         | None -> ()
       end
-    end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -595,25 +672,32 @@ type snapshot = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot () =
+  with_lock registry_mutex @@ fun () ->
   let counters =
     Hashtbl.fold
-      (fun name c acc -> if c.c_touched then (name, c.c_value) :: acc else acc)
+      (fun name c acc ->
+        if Atomic.get c.c_touched then (name, Atomic.get c.c_value) :: acc else acc)
       counters []
     |> List.sort by_name
   in
   let gauges =
     Hashtbl.fold
-      (fun name g acc -> if g.g_touched then (name, g.g_value) :: acc else acc)
+      (fun name g acc ->
+        if Atomic.get g.g_touched then (name, Atomic.get g.g_value) :: acc else acc)
       gauges []
     |> List.sort by_name
   in
   let dists =
     Hashtbl.fold
       (fun name d acc ->
-        if d.d_count > 0 then
-          (name, { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max })
-          :: acc
-        else acc)
+        Mutex.lock d.d_lock;
+        let cell =
+          if d.d_count > 0 then
+            Some { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }
+          else None
+        in
+        Mutex.unlock d.d_lock;
+        match cell with Some s -> (name, s) :: acc | None -> acc)
       dists []
     |> List.sort by_name
   in
@@ -628,26 +712,29 @@ let snapshot () =
   { counters; gauges; dists; spans }
 
 let reset () =
+  with_lock registry_mutex @@ fun () ->
   Hashtbl.iter
     (fun _ c ->
-      c.c_value <- 0;
-      c.c_touched <- false)
+      Atomic.set c.c_value 0;
+      Atomic.set c.c_touched false)
     counters;
   Hashtbl.iter
     (fun _ g ->
-      g.g_value <- 0.0;
-      g.g_touched <- false)
+      Atomic.set g.g_value 0.0;
+      Atomic.set g.g_touched false)
     gauges;
   Hashtbl.iter
     (fun _ d ->
+      Mutex.lock d.d_lock;
       d.d_count <- 0;
       d.d_sum <- 0.0;
       d.d_min <- infinity;
-      d.d_max <- neg_infinity)
+      d.d_max <- neg_infinity;
+      Mutex.unlock d.d_lock)
     dists;
   Hashtbl.reset span_totals;
   Hashtbl.reset Progress.last;
-  span_stack := []
+  Domain.DLS.get span_stack := []
 
 let pp_summary ppf snap =
   let open Format in

@@ -19,9 +19,13 @@
     Sinks are pluggable: {!null_sink} drops every event (for overhead
     measurements with the event half on), {!jsonl_sink} writes one
     JSON object per line for offline analysis, {!memory_sink} retains
-    events for tests.  The registry is global and single-threaded, like
-    the engines themselves: callers delimit a measurement with
-    {!reset}/{!snapshot} (or {!with_sink}). *)
+    events for tests.  The registry is global and domain-safe: counters
+    and gauges are atomic, distributions and span totals are
+    mutex-guarded, the span scope stack is domain-local, and events can
+    be captured per domain with {!Scoped} and merged at report time.
+    Callers delimit a measurement with {!reset}/{!snapshot} (or
+    {!with_sink}); install/uninstall/reset themselves belong to the
+    coordinating domain. *)
 
 (** Minimal JSON values: the wire format of the JSONL sink and of the
     machine-readable bench reports ([BENCH_*.json]).  Self-contained so
@@ -107,6 +111,27 @@ val emit : kind -> string -> (string * value) list -> unit
 
 val meta : string -> (string * value) list -> unit
 (** [emit Meta_v]: tag the trace with run metadata (net, engine, …). *)
+
+(** Per-domain event capture, for code that runs engines on several
+    domains at once (the portfolio racer, the parallel test drivers).
+    While a capture is active on a domain, events emitted from that
+    domain are buffered locally instead of being written to the shared
+    sink; the coordinator replays the buffers it wants to keep once the
+    race is decided — the JSONL trace stays a single coherent stream.
+    Aggregates (counters, gauges, distributions, span totals) are
+    unaffected: they accumulate globally, atomically, from every
+    domain. *)
+module Scoped : sig
+  val capture : (unit -> 'a) -> 'a * event list
+  (** Run the thunk with this domain's events buffered; return its
+      result and the buffered events in emission order.  Nesting is
+      allowed (the inner capture wins); captures on other domains are
+      independent. *)
+
+  val replay : event list -> unit
+  (** Emit previously captured events to the installed sink (no-op when
+      disabled).  Event timestamps are preserved from capture time. *)
+end
 
 (** Named monotonic counters. *)
 module Counter : sig

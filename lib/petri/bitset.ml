@@ -121,18 +121,26 @@ end)
 
 let interned_table = Interned.create 4096
 let next_tag = ref 0
+let intern_lock = Mutex.create ()
 let c_interned = Gpo_obs.Counter.make "bitset.interned"
 
+(* The weak table and the tag supply are shared process-wide state, so
+   interning from several domains (the portfolio racer runs engines
+   concurrently) must serialise.  The lock is uncontended in
+   single-domain runs; the fast path for already-interned sets stays
+   lock-free. *)
 let intern s =
   if s.tag >= 0 then s
   else begin
+    Mutex.lock intern_lock;
     let r = Interned.merge interned_table s in
-    if r == s then begin
+    if r == s && s.tag < 0 then begin
       (* Fresh canonical representative: assign its identity. *)
       s.tag <- !next_tag;
       incr next_tag;
       Gpo_obs.Counter.incr c_interned
     end;
+    Mutex.unlock intern_lock;
     r
   end
 

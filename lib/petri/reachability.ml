@@ -13,6 +13,8 @@ let c_states = Gpo_obs.Counter.make "reach.states"
 let c_edges = Gpo_obs.Counter.make "reach.edges"
 let c_dedup_hits = Gpo_obs.Counter.make "reach.dedup_hits"
 let c_deadlocks = Gpo_obs.Counter.make "reach.deadlocks"
+let g_load_factor = Gpo_obs.Gauge.make "reach.table.load_factor"
+let g_workers = Gpo_obs.Gauge.make "reach.workers"
 
 type result = {
   net : Net.t;
@@ -28,10 +30,27 @@ type result = {
 
 let full (net : Net.t) m = Bitset.elements (Semantics.enabled_set net m)
 
-let explore ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
-    ?(traces = false) (net : Net.t) =
-  let visited = Marking_table.create 4096 in
-  let predecessor = if traces then Some (Marking_table.create 4096) else None in
+(* Visited-table size hint from a cheap structural bound: a safe net
+   has at most 2^places reachable markings, and the state budget caps
+   the table anyway.  Pre-sizing to the (capped) bound avoids the
+   rehash cascade on nets that blow past the default 4096 buckets. *)
+let table_size_hint (net : Net.t) max_states =
+  let structural =
+    if net.Net.n_places < 20 then 1 lsl net.Net.n_places else max_int
+  in
+  max 4096 (min 1_048_576 (min structural max_states))
+
+let report_load_factor table =
+  let stats = Marking_table.stats table in
+  Gpo_obs.Gauge.set g_load_factor
+    (float_of_int stats.Hashtbl.num_bindings
+    /. float_of_int (max 1 stats.Hashtbl.num_buckets))
+
+let explore_seq ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
+    ?(traces = false) ?cancel (net : Net.t) =
+  let size_hint = table_size_hint net max_states in
+  let visited = Marking_table.create size_hint in
+  let predecessor = if traces then Some (Marking_table.create size_hint) else None in
   let queue = Queue.create () in
   let edges = ref 0 in
   let deadlocks = ref [] in
@@ -49,17 +68,13 @@ let explore ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
   in
   enqueue net.initial;
   while not (Queue.is_empty queue) do
+    Par.Cancel.check_opt cancel;
     let m = Queue.pop queue in
     Gpo_obs.Progress.sample "reach" (fun () ->
-        let stats = Marking_table.stats visited in
         [
           ("states", Gpo_obs.I (Marking_table.length visited));
           ("frontier", Gpo_obs.I (Queue.length queue));
           ("edges", Gpo_obs.I !edges);
-          ( "table_load",
-            Gpo_obs.F
-              (float_of_int stats.Hashtbl.num_bindings
-              /. float_of_int (max 1 stats.Hashtbl.num_buckets)) );
         ]);
     let to_fire = strategy net m in
     if Semantics.is_deadlock net m then begin
@@ -87,6 +102,7 @@ let explore ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
     in
     List.iter fire to_fire
   done;
+  report_load_factor visited;
   {
     net;
     states = Marking_table.length visited;
@@ -98,6 +114,238 @@ let explore ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
     predecessor;
     visited;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel exploration                                         *)
+
+(* The visited set is split into shards owned by marking digest
+   ([Bitset.hash] is the stored digest, so sharding is free).  Each
+   shard carries its own mutex, hash table, and — when traces are
+   requested — its own predecessor map, so first-reach parents live
+   next to the marking they explain and [--witness] reconstruction
+   works after a merge.  Workers keep discovered markings in their own
+   work queue and steal when they run dry; termination is an atomic
+   count of enqueued-but-unfinished markings. *)
+type shard = {
+  lock : Mutex.t;
+  table : unit Marking_table.t;
+  pred : (Net.transition * Bitset.t) Marking_table.t option;
+}
+
+(* Per-worker accumulation, merged after the join: no shared cell is
+   touched on the hot path except the visited shards and the three
+   coordination atomics. *)
+type worker_acc = {
+  mutable w_edges : int;
+  mutable w_dedup : int;
+  mutable w_deadlock_count : int;
+  mutable w_deadlocks : Bitset.t list;
+  mutable w_unsafe_count : int;
+  mutable w_unsafe : (Net.transition * Bitset.t) list;
+}
+
+let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
+    (net : Net.t) =
+  let n_workers = Par.Pool.size pool in
+  Gpo_obs.Gauge.set_int g_workers n_workers;
+  let n_shards =
+    let rec pow2 n = if n >= 4 * n_workers || n >= 256 then n else pow2 (2 * n) in
+    pow2 16
+  in
+  let shard_hint = max 64 (table_size_hint net max_states / n_shards) in
+  let shards =
+    Array.init n_shards (fun _ ->
+        {
+          lock = Mutex.create ();
+          table = Marking_table.create shard_hint;
+          pred = (if traces then Some (Marking_table.create shard_hint) else None);
+        })
+  in
+  let shard_of m = shards.(Bitset.hash m land (n_shards - 1)) in
+  let queues = Array.init n_workers (fun _ -> Par.Wsq.create ()) in
+  let states = Atomic.make 0 in
+  let in_flight = Atomic.make 0 in
+  let truncated = Atomic.make false in
+  let accs =
+    Array.init n_workers (fun _ ->
+        {
+          w_edges = 0;
+          w_dedup = 0;
+          w_deadlock_count = 0;
+          w_deadlocks = [];
+          w_unsafe_count = 0;
+          w_unsafe = [];
+        })
+  in
+  Gpo_obs.Counter.touch c_states;
+  Gpo_obs.Counter.touch c_edges;
+  Gpo_obs.Counter.touch c_dedup_hits;
+  (* Try to claim [m'] (reached from [m] by [t]) as fresh: insert into
+     its shard and charge the state budget.  Returns [true] iff the
+     caller should enqueue it. *)
+  let claim m' ~from:(t, m) =
+    let sh = shard_of m' in
+    Mutex.lock sh.lock;
+    if Marking_table.mem sh.table m' then begin
+      Mutex.unlock sh.lock;
+      false
+    end
+    else begin
+      let n = Atomic.fetch_and_add states 1 in
+      if n >= max_states then begin
+        (* Over budget: give the ticket back and truncate.  The count
+           never exceeds [max_states], matching the sequential
+           engine's contract. *)
+        Atomic.decr states;
+        Mutex.unlock sh.lock;
+        Atomic.set truncated true;
+        false
+      end
+      else begin
+        Marking_table.add sh.table m' ();
+        (match sh.pred with
+        | Some table -> Marking_table.add table m' (t, m)
+        | None -> ());
+        Mutex.unlock sh.lock;
+        Gpo_obs.Counter.incr c_states;
+        true
+      end
+    end
+  in
+  (* Seed: the initial marking is visited by definition, not claimed
+     through the budget (the sequential engine counts it the same way). *)
+  let seed () =
+    let sh = shard_of net.initial in
+    Marking_table.add sh.table net.initial ();
+    ignore (Atomic.fetch_and_add states 1);
+    Gpo_obs.Counter.incr c_states;
+    Atomic.incr in_flight;
+    Par.Wsq.push queues.(0) net.initial
+  in
+  seed ();
+  let process w m =
+    let acc = accs.(w) in
+    if w = 0 then
+      Gpo_obs.Progress.sample "reach" (fun () ->
+          [
+            ("states", Gpo_obs.I (Atomic.get states));
+            ("frontier", Gpo_obs.I (Atomic.get in_flight));
+            ("workers", Gpo_obs.I n_workers);
+          ]);
+    let to_fire = strategy net m in
+    if Semantics.is_deadlock net m then begin
+      acc.w_deadlock_count <- acc.w_deadlock_count + 1;
+      Gpo_obs.Counter.incr c_deadlocks;
+      if acc.w_deadlock_count <= max_deadlocks then
+        acc.w_deadlocks <- m :: acc.w_deadlocks
+    end;
+    List.iter
+      (fun t ->
+        let m', safe = Semantics.fire net t m in
+        acc.w_edges <- acc.w_edges + 1;
+        Gpo_obs.Counter.incr c_edges;
+        if not safe then begin
+          acc.w_unsafe_count <- acc.w_unsafe_count + 1;
+          if acc.w_unsafe_count <= max_deadlocks then
+            acc.w_unsafe <- (t, m) :: acc.w_unsafe
+        end;
+        if claim m' ~from:(t, m) then begin
+          Atomic.incr in_flight;
+          Par.Wsq.push queues.(w) m'
+        end
+        else begin
+          acc.w_dedup <- acc.w_dedup + 1;
+          Gpo_obs.Counter.incr c_dedup_hits
+        end)
+      to_fire
+  in
+  let worker w () =
+    let rec loop () =
+      Par.Cancel.check_opt cancel;
+      match Par.Wsq.take_any queues w with
+      | Some m ->
+          process w m;
+          Atomic.decr in_flight;
+          loop ()
+      | None ->
+          if Atomic.get in_flight > 0 then begin
+            Domain.cpu_relax ();
+            loop ()
+          end
+    in
+    loop ()
+  in
+  Par.Pool.run pool (List.init n_workers worker);
+  (* Merge the shards into the single tables of the sequential result
+     shape, so [trace_to] and the callers see one uniform view. *)
+  let total = Atomic.get states in
+  let visited = Marking_table.create (max 4096 total) in
+  Array.iter
+    (fun sh -> Marking_table.iter (fun m () -> Marking_table.replace visited m ()) sh.table)
+    shards;
+  let predecessor =
+    if not traces then None
+    else begin
+      let merged = Marking_table.create (max 4096 total) in
+      Array.iter
+        (fun sh ->
+          match sh.pred with
+          | Some table ->
+              Marking_table.iter (fun m v -> Marking_table.replace merged m v) table
+          | None -> ())
+        shards;
+      Some merged
+    end
+  in
+  report_load_factor visited;
+  let merge f = Array.fold_left (fun acc w -> acc + f w) 0 accs in
+  (* Retained deadlock/unsafe witnesses are sorted by content: worker
+     interleaving must not leak into the result. *)
+  let deadlocks =
+    Array.fold_left (fun l w -> List.rev_append w.w_deadlocks l) [] accs
+    |> List.sort Bitset.compare
+  in
+  let deadlocks =
+    List.filteri (fun i _ -> i < max_deadlocks) deadlocks
+  in
+  let unsafe =
+    Array.fold_left (fun l w -> List.rev_append w.w_unsafe l) [] accs
+    |> List.sort (fun (t1, m1) (t2, m2) ->
+           let c = Int.compare t1 t2 in
+           if c <> 0 then c else Bitset.compare m1 m2)
+  in
+  let unsafe = List.filteri (fun i _ -> i < max_deadlocks) unsafe in
+  {
+    net;
+    states = Marking_table.length visited;
+    edges = merge (fun w -> w.w_edges);
+    deadlocks;
+    deadlock_count = merge (fun w -> w.w_deadlock_count);
+    unsafe;
+    truncated = Atomic.get truncated;
+    predecessor;
+    visited;
+  }
+
+let explore_par ?pool ?jobs ?(strategy = full) ?(max_states = 10_000_000)
+    ?(max_deadlocks = 16) ?(traces = false) ?cancel (net : Net.t) =
+  match pool with
+  | Some pool when Par.Pool.size pool > 1 ->
+      explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel net
+  | Some _ ->
+      explore_seq ~strategy ~max_states ~max_deadlocks ~traces ?cancel net
+  | None -> (
+      let jobs = match jobs with Some j -> j | None -> Par.Pool.default_jobs () in
+      if jobs <= 1 then
+        (* Sequential fallback: one worker needs no shards, no locks. *)
+        explore_seq ~strategy ~max_states ~max_deadlocks ~traces ?cancel net
+      else
+        Par.Pool.with_pool ~jobs (fun pool ->
+            explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces
+              ~cancel net))
+
+let explore ?strategy ?max_states ?max_deadlocks ?traces ?cancel net =
+  explore_seq ?strategy ?max_states ?max_deadlocks ?traces ?cancel net
 
 let trace_to result m =
   match result.predecessor with

@@ -41,6 +41,7 @@ val explore :
   ?max_states:int ->
   ?max_deadlocks:int ->
   ?traces:bool ->
+  ?cancel:Par.Cancel.t ->
   Net.t ->
   result
 (** [explore net] runs a breadth-first exploration from the initial
@@ -48,7 +49,33 @@ val explore :
     [10_000_000]) bounds the number of visited states, setting
     [truncated] when exceeded; [max_deadlocks] (default [16]) bounds the
     retained deadlock witnesses; [traces] (default [false]) records
-    predecessors for counterexample extraction. *)
+    predecessors for counterexample extraction.  [cancel] is polled
+    once per expanded marking; a set token unwinds with
+    [Par.Cancel.Cancelled]. *)
+
+val explore_par :
+  ?pool:Par.Pool.t ->
+  ?jobs:int ->
+  ?strategy:strategy ->
+  ?max_states:int ->
+  ?max_deadlocks:int ->
+  ?traces:bool ->
+  ?cancel:Par.Cancel.t ->
+  Net.t ->
+  result
+(** Domain-parallel {!explore}: the visited set is sharded by marking
+    digest (each shard with its own lock and, with [traces], its own
+    predecessor map), workers expand markings from per-worker queues
+    and steal when dry.  Runs on [pool] when given, else on a fresh
+    pool of [jobs] workers (default [Domain.recommended_domain_count]).
+    With one worker this {e is} {!explore} — the sequential engine is
+    the fallback, and the differential test suite holds the two to the
+    same states/edges/deadlock counts and verdicts on every net.  The
+    retained [deadlocks]/[unsafe] witness lists are sorted by content
+    so worker interleaving cannot leak into the result; the
+    predecessor map records each marking's first-reach parent, which
+    may differ from the sequential one, but any reconstructed witness
+    still certifies. *)
 
 val trace_to : result -> Bitset.t -> Net.transition list
 (** [trace_to result m] reconstructs a firing sequence from the initial

@@ -85,7 +85,19 @@ let compute conflict heuristic m =
 let strategy ?(heuristic = Smallest) conflict : Reachability.strategy =
  fun _net m -> compute conflict heuristic m
 
-let explore ?heuristic ?max_states ?max_deadlocks ?traces net =
+let explore ?heuristic ?max_states ?max_deadlocks ?traces ?cancel net =
   let conflict = Conflict.analyse net in
   Reachability.explore ~strategy:(strategy ?heuristic conflict) ?max_states
-    ?max_deadlocks ?traces net
+    ?max_deadlocks ?traces ?cancel net
+
+(* The stubborn strategy is a pure function of the marking (the
+   conflict relation is immutable after [Conflict.analyse], and
+   [compute] only reads it), so it can be evaluated from any domain and
+   the parallel explorer visits exactly the sequential reduced state
+   space. *)
+let explore_par ?pool ?jobs ?heuristic ?max_states ?max_deadlocks ?traces
+    ?cancel net =
+  let conflict = Conflict.analyse net in
+  Reachability.explore_par ?pool ?jobs
+    ~strategy:(strategy ?heuristic conflict)
+    ?max_states ?max_deadlocks ?traces ?cancel net

@@ -109,6 +109,32 @@ expect_out "CERTIFIED" "certify --place prints certified witnesses"
 expect 0 "certify --place on a holding property" -- \
   certify -m nsdp -n 2 -p think.0 -p askL.0
 
+# --- multicore: --jobs and the racing portfolio -----------------------
+
+# Parallel exploration must reproduce the sequential verdicts exactly.
+expect 1 "parallel analyze finds the NSDP deadlock" -- \
+  analyze -m nsdp -n 4 -e full -j 4
+expect 0 "parallel analyze clears the overtake protocol" -- \
+  analyze -m over -n 3 -e full -j 4
+expect 2 "parallel truncated clean run is still inconclusive" -- \
+  analyze -m asat -n 4 -e full -j 4 --max-states 50
+expect_out "inconclusive" "parallel truncation is called out"
+
+# The portfolio returns the first conclusive verdict with its witness.
+expect 1 "portfolio finds the NSDP deadlock" -- \
+  analyze -m nsdp -n 4 -e portfolio --witness
+expect_out "portfolio: .* won" "portfolio announces its winner"
+expect_out "CERTIFIED" "portfolio witness is certified inline"
+expect 0 "portfolio clears the overtake protocol" -- \
+  analyze -m over -n 3 -e portfolio
+expect 1 "portfolio safety verdict" -- \
+  safety -m nsdp -n 2 -p gotL.0 -p gotL.1 -e portfolio
+expect_out "scenario (certified):" "portfolio safety scenario is certified"
+expect 1 "certify accepts -e portfolio" -- certify -m nsdp -n 2 -e portfolio
+expect_out "CERTIFIED" "portfolio certification prints the witness"
+expect 2 "unknown engine is still a usage error" -- \
+  analyze -m nsdp -n 2 -e bogus
+
 # --- witness replays through julie trace (file round-trip) ------------
 
 # `trace` on the same model must replay its own reconstruction; the

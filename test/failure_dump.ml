@@ -56,3 +56,31 @@ let seed_count ?(default = 200) () =
       match int_of_string_opt (String.trim s) with
       | Some n when n > 0 -> n
       | _ -> default)
+
+(* Worker domains for the seeded sweeps, from GPO_TEST_JOBS (default 1:
+   plain sequential loops).  0 means auto. *)
+let test_jobs () =
+  match Sys.getenv_opt "GPO_TEST_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some 0 -> Par.Pool.default_jobs ()
+      | _ -> 1)
+
+(* Run [f seed] for every seed below [n] (default {!seed_count}),
+   distributing the seeds over a domain pool when GPO_TEST_JOBS asks
+   for one.  Each seed's check is self-contained (its own generated
+   net, its own artifact basename), so the result is order-independent;
+   on failures the pool finishes every seed and re-raises the first
+   failure, same as the sequential loop's. *)
+let iter_seeds ?n f =
+  let n = match n with Some n -> n | None -> seed_count () in
+  match test_jobs () with
+  | jobs when jobs <= 1 || n <= 1 ->
+      for seed = 0 to n - 1 do
+        f seed
+      done
+  | jobs ->
+      Par.Pool.with_pool ~jobs:(min jobs n) (fun pool ->
+          Par.Pool.iter pool f (List.init n Fun.id))

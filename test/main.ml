@@ -26,4 +26,5 @@ let () =
       ("certify", Test_certify.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -68,11 +68,9 @@ let zoo_certification () =
     ]
 
 let random_certification () =
-  let n = Failure_dump.seed_count () in
-  for seed = 0 to n - 1 do
-    let net = Models.Random_net.generate seed in
-    check_net ~label:(Printf.sprintf "certify-seed-%d" seed) net
-  done
+  Failure_dump.iter_seeds (fun seed ->
+      let net = Models.Random_net.generate seed in
+      check_net ~label:(Printf.sprintf "certify-seed-%d" seed) net)
 
 (* The symbolic witness comes from BFS frontier layers, so it is a
    shortest path to its final marking; the explicit BFS predecessor
@@ -100,8 +98,8 @@ let symbolic_witness_is_shortest () =
    random product nets, which a single token can never cover. *)
 let safety_certification () =
   let n = min 80 (Failure_dump.seed_count ()) in
-  for seed = 0 to n - 1 do
-    let net = Models.Random_net.generate seed in
+  Failure_dump.iter_seeds ~n (fun seed ->
+      let net = Models.Random_net.generate seed in
     let label = Printf.sprintf "safety-seed-%d" seed in
     let full = Petri.Reachability.explore ~max_states net in
     if not full.truncated then begin
@@ -155,8 +153,7 @@ let safety_certification () =
                   "holding property (two states of one component) judged %a"
                   (C.pp net) v
           end
-    end
-  done
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* Conclusion semantics and rejection paths (unit tests)               *)

@@ -124,11 +124,9 @@ let monitored_zoo_conformance () =
     zoo
 
 let random_conformance () =
-  let n = Failure_dump.seed_count () in
-  for seed = 0 to n - 1 do
-    let net = Models.Random_net.generate seed in
-    check ~label:(Printf.sprintf "conformance-seed-%d" seed) net
-  done
+  Failure_dump.iter_seeds (fun seed ->
+      let net = Models.Random_net.generate seed in
+      check ~label:(Printf.sprintf "conformance-seed-%d" seed) net)
 
 (* Same agreement, exercised through the uniform [Harness.Engine.run]
    layer that the CLI uses (witnesses on, so the reconstruction paths

@@ -1,0 +1,341 @@
+(* Multicore execution: the par primitives, the domain-parallel
+   explorer against its sequential twin, and the racing portfolio.
+
+   The load-bearing property is the differential one: for every net,
+   [Reachability.explore_par] must report exactly the same states,
+   edges, deadlock count, unsafe count, truncation flag and verdict as
+   [Reachability.explore] — the visited set is determined by the
+   (deterministic) strategy alone, so worker interleaving must not leak
+   into any count.  Witnesses are allowed to differ (the parallel
+   predecessor map records first-reach parents), but must certify. *)
+
+module R = Petri.Reachability
+module E = Harness.Engine
+
+(* Run the parallel suites with a few workers even on small hosts: the
+   scheduler interleaves domains on one core, which still exercises the
+   sharded tables and the steal path. *)
+let par_jobs = 4
+
+(* [Counter.make] interns by name, so these are the very cells the par
+   library increments — the tests read the cancellation handshake off
+   them. *)
+let c_cancel_requests = Gpo_obs.Counter.make "par.cancel.requests"
+let c_cancel_observed = Gpo_obs.Counter.make "par.cancel.observed"
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+
+let pool_map_preserves_order () =
+  Par.Pool.with_pool ~jobs:par_jobs (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "map is an order-preserving parallel map"
+        (List.map (fun x -> (x * x) + 1) xs)
+        (Par.Pool.map pool (fun x -> (x * x) + 1) xs))
+
+let pool_rethrows_after_finishing () =
+  let ran = Atomic.make 0 in
+  Par.Pool.with_pool ~jobs:par_jobs (fun pool ->
+      (match
+         Par.Pool.run pool
+           (List.init 8 (fun i () ->
+                if i = 3 then failwith "boom" else Atomic.incr ran))
+       with
+      | () -> Alcotest.fail "expected the thunk exception to propagate"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* Every non-throwing thunk still ran: one failure does not
+         abandon the batch. *)
+      Alcotest.(check int) "other thunks completed" 7 (Atomic.get ran);
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int))
+        "pool is reusable" [ 2; 4 ]
+        (Par.Pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let wsq_owner_and_thief_order () =
+  let q : int Par.Wsq.t = Par.Wsq.create () in
+  List.iter (Par.Wsq.push q) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "owner pops newest" (Some 4) (Par.Wsq.pop q);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (Par.Wsq.steal q);
+  (* The steal normalized the remaining elements into FIFO order; the
+     owner drains them oldest-first from here. *)
+  Alcotest.(check (option int)) "owner after steal" (Some 2) (Par.Wsq.pop q);
+  Alcotest.(check (option int)) "last element" (Some 3) (Par.Wsq.pop q);
+  Alcotest.(check (option int)) "empty pop" None (Par.Wsq.pop q);
+  Alcotest.(check (option int)) "empty steal" None (Par.Wsq.steal q)
+
+let cancellation_handshake () =
+  let token = Par.Cancel.create () in
+  Alcotest.(check bool) "fresh token unset" false (Par.Cancel.is_set token);
+  Par.Cancel.check token;
+  (* does not raise *)
+  let before = Gpo_obs.Counter.value c_cancel_observed in
+  Par.Cancel.cancel token;
+  Par.Cancel.cancel token;
+  (* idempotent *)
+  Alcotest.(check bool) "set after cancel" true (Par.Cancel.is_set token);
+  (match Par.Cancel.check token with
+  | () -> Alcotest.fail "check on a set token must raise"
+  | exception Par.Cancel.Cancelled -> ());
+  Alcotest.(check bool)
+    "observation counted" true
+    (Gpo_obs.Counter.value c_cancel_observed > before)
+
+(* A cancelled engine run actually unwinds: cancel the token up front
+   and the exploration must raise without visiting the whole space. *)
+let engine_runs_are_cancellable () =
+  List.iter
+    (fun kind ->
+      let token = Par.Cancel.create () in
+      Par.Cancel.cancel token;
+      match E.run ~cancel:token kind (Models.Scheduler.make 6) with
+      | (_ : E.outcome) ->
+          Alcotest.failf "%s ignored a pre-set cancellation token"
+            (E.name kind)
+      | exception Par.Cancel.Cancelled -> ())
+    E.all
+
+(* ------------------------------------------------------------------ *)
+(* Differential: sequential vs parallel exploration                    *)
+
+let same_exploration ~label ?strategy net =
+  (* [max_deadlocks] high enough to retain every deadlock: with the
+     default cap the two explorers may retain different (but equally
+     valid) subsets, since the sequential one keeps the first hits in
+     BFS order and the parallel one the content-sorted prefix. *)
+  let seq = R.explore ?strategy ~max_deadlocks:100_000 ~traces:true net in
+  let par =
+    R.explore_par ~jobs:par_jobs ?strategy ~max_deadlocks:100_000 ~traces:true
+      net
+  in
+  let check_int what a b =
+    if a <> b then
+      Failure_dump.failf ~label net "parallel %s %d <> sequential %d" what b a
+  in
+  check_int "states" seq.states par.states;
+  check_int "edges" seq.edges par.edges;
+  check_int "deadlock_count" seq.deadlock_count par.deadlock_count;
+  check_int "unsafe count" (List.length seq.unsafe) (List.length par.unsafe);
+  if seq.truncated <> par.truncated then
+    Failure_dump.failf ~label net "truncation flags differ";
+  (* Same visited set, not just the same size. *)
+  R.Marking_table.iter
+    (fun m () ->
+      if not (R.Marking_table.mem par.visited m) then
+        Failure_dump.failf ~label net
+          "marking visited sequentially but not in parallel")
+    seq.visited;
+  (* Retained deadlock witnesses are content-sorted, hence comparable
+     as lists once the sequential side is sorted the same way. *)
+  let sorted l = List.sort Petri.Bitset.compare l in
+  if
+    not
+      (List.equal Petri.Bitset.equal (sorted seq.deadlocks)
+         (sorted par.deadlocks))
+  then Failure_dump.failf ~label net "retained deadlock witnesses differ";
+  (* Parallel predecessor chains may differ from sequential ones, but
+     every reconstructed witness must replay to its dead marking. *)
+  List.iter
+    (fun dead ->
+      let trace = R.trace_to par dead in
+      if not (Petri.Trace.is_valid net trace) then
+        Failure_dump.failf ~trace ~label net
+          "parallel witness does not replay";
+      if
+        not
+          (Petri.Bitset.equal dead (Petri.Trace.final_marking net trace))
+      then
+        Failure_dump.failf ~trace ~label net
+          "parallel witness reaches the wrong marking")
+    par.deadlocks
+
+let differential_zoo () =
+  List.iter
+    (fun (net : Petri.Net.t) ->
+      same_exploration ~label:(net.name ^ "-par-full") net;
+      same_exploration ~label:(net.name ^ "-par-stubborn")
+        ~strategy:(Petri.Stubborn.strategy (Petri.Conflict.analyse net))
+        net)
+    [
+      Models.Figures.fig1;
+      Models.Figures.fig2 4;
+      Models.Figures.fig2 6;
+      Models.Figures.fig3;
+      Models.Figures.fig5;
+      Models.Figures.fig7;
+      Models.Nsdp.make 2;
+      Models.Nsdp.make 4;
+      Models.Asat.make 2;
+      Models.Over.make 3;
+      Models.Rw.make 4;
+      Models.Scheduler.make 3;
+      Models.Scheduler.make 5;
+    ]
+
+let differential_random () =
+  Failure_dump.iter_seeds ~n:(min 60 (Failure_dump.seed_count ())) (fun seed ->
+      let net = Models.Random_net.generate seed in
+      same_exploration ~label:(Printf.sprintf "par-seed-%d" seed) net)
+
+(* Truncation: both explorers must flag it, and the parallel state
+   count must respect the budget exactly (the ticketing rollback). *)
+let differential_truncation () =
+  let net = Models.Scheduler.make 7 in
+  let seq = R.explore ~max_states:100 net in
+  let par = R.explore_par ~jobs:par_jobs ~max_states:100 net in
+  Alcotest.(check bool) "sequential truncated" true seq.truncated;
+  Alcotest.(check bool) "parallel truncated" true par.truncated;
+  Alcotest.(check bool)
+    "parallel respects the state budget" true (par.states <= 100)
+
+(* The stubborn convenience wrapper agrees with its sequential twin. *)
+let stubborn_wrapper_differential () =
+  let net = Models.Nsdp.make 4 in
+  let seq = Petri.Stubborn.explore net in
+  let par = Petri.Stubborn.explore_par ~jobs:par_jobs net in
+  Alcotest.(check int) "states" seq.states par.states;
+  Alcotest.(check int) "edges" seq.edges par.edges;
+  Alcotest.(check int) "deadlocks" seq.deadlock_count par.deadlock_count
+
+(* The engine layer routes jobs>1 through the parallel explorer with
+   identical outcomes. *)
+let engine_layer_jobs () =
+  List.iter
+    (fun (net : Petri.Net.t) ->
+      List.iter
+        (fun kind ->
+          let s = E.run ~witness:true kind net in
+          let p = E.run ~witness:true ~jobs:par_jobs kind net in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s/%s states" net.name (E.name kind))
+            s.states p.states;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s verdict" net.name (E.name kind))
+            s.deadlock p.deadlock;
+          if p.deadlock then
+            match Harness.Certify.deadlock net p with
+            | Harness.Certify.Certified _ -> ()
+            | v ->
+                Alcotest.failf "parallel %s witness not certified: %a"
+                  (E.name kind)
+                  (Harness.Certify.pp net) v)
+        [ E.Full; E.Stubborn ])
+    [ Models.Nsdp.make 3; Models.Over.make 3; Models.Scheduler.make 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+
+(* The winner's verdict must match exhaustive ground truth, its witness
+   must certify, and — when an engine wins early — the losers must have
+   observed the cancellation (the [par.cancel.*] counters prove the
+   handshake rather than trusting the join). *)
+let portfolio_matches_truth () =
+  List.iter
+    (fun (net : Petri.Net.t) ->
+      let truth =
+        (Petri.Reachability.explore net).deadlock_count > 0
+      in
+      Gpo_obs.reset ();
+      let r = Harness.Portfolio.run ~witness:true ~gpo_scan:true net in
+      Alcotest.(check bool)
+        (net.name ^ ": portfolio verdict = exhaustive truth")
+        truth r.outcome.E.deadlock;
+      Alcotest.(check bool) (net.name ^ ": conclusive") true r.conclusive;
+      (if r.outcome.E.deadlock then
+         match Harness.Certify.deadlock net r.outcome with
+         | Harness.Certify.Certified _ -> ()
+         | v ->
+             Alcotest.failf "%s: portfolio witness not certified: %a" net.name
+               (Harness.Certify.pp net) v);
+      let requests = Gpo_obs.Counter.value c_cancel_requests in
+      let observed = Gpo_obs.Counter.value c_cancel_observed in
+      Alcotest.(check bool)
+        (net.name ^ ": winner requested cancellation")
+        true (requests >= 1);
+      (* Each cancelled loser observed the token at least once; the
+         report counts the losers that unwound via Cancelled. *)
+      Alcotest.(check bool)
+        (net.name ^ ": losers observed the cancellation")
+        true
+        (observed >= r.cancelled_losers))
+    [
+      Models.Figures.fig2 5;
+      Models.Nsdp.make 4;
+      Models.Over.make 3;
+      Models.Scheduler.make 4;
+    ]
+
+(* With every entrant given a budget too small to finish, the race has
+   no conclusive winner: the report must say so (julie maps this to
+   exit 2, never to a clean verdict). *)
+let portfolio_inconclusive_when_truncated () =
+  let net = Models.Scheduler.make 7 in
+  let r =
+    (* Two exhaustive entrants: the symbolic engine has no budget and
+       the stubborn reduction finishes this net within 50 states, so
+       either would legitimately conclude. *)
+    Harness.Portfolio.run ~max_states:50 ~engines:[ E.Full; E.Full ] net
+  in
+  Alcotest.(check bool) "not conclusive" false r.conclusive;
+  Alcotest.(check bool) "outcome flagged truncated" true r.outcome.E.truncated
+
+(* A single-entrant portfolio degenerates to that engine's run. *)
+let portfolio_single_entrant () =
+  let net = Models.Nsdp.make 3 in
+  let r = Harness.Portfolio.run ~engines:[ E.Stubborn ] net in
+  let direct = E.run E.Stubborn net in
+  Alcotest.(check bool) "same verdict" direct.deadlock r.outcome.E.deadlock;
+  Alcotest.(check (float 0.0)) "same states" direct.states r.outcome.E.states;
+  Alcotest.(check int) "no losers" 0 r.cancelled_losers
+
+(* The shape of the parallel seeded test drivers: whole engine runs
+   from several pool workers at once.  This exercises the domain safety
+   of the engines themselves (interning, GPN serialisation, telemetry)
+   and checks that concurrent runs stay deterministic. *)
+let parallel_seed_driver () =
+  let hits = Atomic.make 0 in
+  Par.Pool.with_pool ~jobs:par_jobs (fun pool ->
+      Par.Pool.iter pool
+        (fun seed ->
+          let net = Models.Random_net.generate seed in
+          let a = R.explore ~max_states:20_000 net in
+          let b = R.explore ~max_states:20_000 net in
+          if a.states <> b.states || a.deadlock_count <> b.deadlock_count then
+            Failure_dump.failf
+              ~label:(Printf.sprintf "driver-seed-%d" seed)
+              net "exploration not deterministic under concurrent runs";
+          let g = Gpn.Explorer.analyse ~max_states:20_000 net in
+          if (not a.truncated) && not g.Gpn.Explorer.truncated then
+            if Gpn.Explorer.deadlock_free g <> (a.deadlock_count = 0) then
+              Failure_dump.failf
+                ~label:(Printf.sprintf "driver-seed-%d" seed)
+                net "gpo verdict diverged when run from a pool worker";
+          Atomic.incr hits)
+        (List.init 8 Fun.id));
+  Alcotest.(check int) "all seeds processed" 8 (Atomic.get hits)
+
+let suite =
+  [
+    Alcotest.test_case "pool map preserves order" `Quick pool_map_preserves_order;
+    Alcotest.test_case "pool rethrows after finishing" `Quick
+      pool_rethrows_after_finishing;
+    Alcotest.test_case "work-stealing queue order" `Quick
+      wsq_owner_and_thief_order;
+    Alcotest.test_case "cancellation handshake" `Quick cancellation_handshake;
+    Alcotest.test_case "engine runs are cancellable" `Quick
+      engine_runs_are_cancellable;
+    Alcotest.test_case "seq-vs-par differential (zoo)" `Quick differential_zoo;
+    Alcotest.test_case "seq-vs-par differential (random)" `Slow
+      differential_random;
+    Alcotest.test_case "seq-vs-par truncation" `Quick differential_truncation;
+    Alcotest.test_case "stubborn wrapper differential" `Quick
+      stubborn_wrapper_differential;
+    Alcotest.test_case "engine layer with jobs" `Quick engine_layer_jobs;
+    Alcotest.test_case "portfolio matches exhaustive truth" `Quick
+      portfolio_matches_truth;
+    Alcotest.test_case "portfolio inconclusive when all truncate" `Quick
+      portfolio_inconclusive_when_truncated;
+    Alcotest.test_case "portfolio single entrant" `Quick
+      portfolio_single_entrant;
+    Alcotest.test_case "parallel seed driver shape" `Quick parallel_seed_driver;
+  ]

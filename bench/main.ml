@@ -7,6 +7,7 @@
      dune exec bench/main.exe fig2       # Figure 2 series
      dune exec bench/main.exe ablation   # design-choice ablations
      dune exec bench/main.exe scaling    # multicore speedup + portfolio
+     dune exec bench/main.exe guard      # resource-guard polling overhead
      dune exec bench/main.exe micro      # Bechamel micro-benchmarks *)
 
 let section title =
@@ -517,12 +518,69 @@ let micro () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Guard overhead: the deadline/memory poll sits in the hottest loop of
+   the explicit engines, so its cost must stay in the noise.  Plain and
+   guarded runs are interleaved (same rep sees the same cache/GC
+   climate) and the best of each side is compared.                     *)
+
+let guard_overhead () =
+  let module J = Gpo_obs.Json in
+  section "Guard — budget polling overhead in the explicit hot loop";
+  let nets =
+    if smoke then
+      [ ("nsdp-8", Models.Nsdp.make 8); ("asat-4", Models.Asat.make 4) ]
+    else [ ("nsdp-12", Models.Nsdp.make 12); ("asat-8", Models.Asat.make 8) ]
+  in
+  let reps = if smoke then 2 else 5 in
+  (* The big instances overflow any exhaustive budget; a fixed state
+     budget gives both sides the exact same amount of work. *)
+  let max_states = if smoke then 50_000 else 500_000 in
+  let rows = ref [] in
+  Format.printf "%-10s %10s %10s %10s@." "net" "plain" "guarded" "overhead";
+  List.iter
+    (fun (name, net) ->
+      let plain = ref infinity and guarded = ref infinity in
+      for _ = 1 to reps do
+        let r, t = time (fun () -> Petri.Reachability.explore ~max_states net) in
+        let states = r.Petri.Reachability.states in
+        plain := Float.min !plain t;
+        let r, t =
+          time (fun () ->
+              (* Generous budgets: armed, polled, never tripping. *)
+              Guard.with_guard ~deadline_s:3600. ~mem_mb:65536 (fun g ->
+                  Petri.Reachability.explore ~max_states ~guard:g net))
+        in
+        assert (r.Petri.Reachability.states = states);
+        guarded := Float.min !guarded t
+      done;
+      let overhead_pct = (!guarded -. !plain) /. !plain *. 100. in
+      Format.printf "%-10s %9.3fs %9.3fs %9.2f%%@." name !plain !guarded
+        overhead_pct;
+      rows :=
+        J.Obj
+          [
+            ("net", J.String name);
+            ("plain_s", J.Float !plain);
+            ("guarded_s", J.Float !guarded);
+            ("overhead_pct", J.Float overhead_pct);
+          ]
+        :: !rows)
+    nets;
+  write_report "guard"
+    (J.Obj
+       [
+         ("table", J.String "guard");
+         ("smoke", J.Bool smoke);
+         ("rows", J.List (List.rev !rows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> [ "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "micro" ]
+    | _ -> [ "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "guard"; "micro" ]
   in
   List.iter
     (function
@@ -531,11 +589,12 @@ let () =
       | "fig2" -> fig2 ()
       | "ablation" -> ablation ()
       | "scaling" -> scaling ()
+      | "guard" -> guard_overhead ()
       | "micro" -> micro ()
       | other ->
           Format.eprintf
             "unknown job %S (expected table1, fig1, fig2, ablation, scaling, \
-             micro)@."
+             guard, micro)@."
             other;
           exit 2)
     jobs

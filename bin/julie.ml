@@ -17,10 +17,11 @@ open Cmdliner
      0 — the property holds / no deadlock found;
      1 — a deadlock or safety violation was found;
      2 — usage error (bad net source, bad arguments), or an
-         indeterminate verdict: the state budget was exhausted before
-         the space was covered, or a claimed violation failed
-         certification.  A truncated exploration that found nothing is
-         NOT a clean "no deadlock". *)
+         indeterminate verdict: the exploration stopped early (state
+         budget, --timeout deadline, --mem-mb memory budget,
+         cancellation) before the space was covered, or a claimed
+         violation failed certification.  A stopped exploration that
+         found nothing is NOT a clean "no deadlock". *)
 let exit_holds = 0
 let exit_violated = 1
 let exit_usage = 2
@@ -34,18 +35,33 @@ let verdict_exits =
              verdict (state budget exhausted, certification failed)."
   :: Cmd.Exit.defaults
 
-let inconclusive () =
-  Format.printf
-    "inconclusive: state budget exhausted before the state space was covered \
-     (raise --max-states)@.";
+let inconclusive ?(stop = Guard.State_budget) () =
+  Format.printf "inconclusive: %s before the state space was covered%s@."
+    (Guard.describe_stop stop)
+    (match stop with
+    | Guard.State_budget -> " (raise --max-states)"
+    | Guard.Deadline -> " (raise --timeout)"
+    | Guard.Memory -> " (raise --mem-mb)"
+    | _ -> "");
   exit_indeterminate
 
-(* Wrap a command body so our own [failwith]s (and unreadable --file
-   arguments) become exit code 2. *)
+(* The stop reason to blame an `Inconclusive verdict on: the first
+   outcome that stopped short of completion. *)
+let first_stop outcomes =
+  List.find_map
+    (fun (o : Harness.Engine.outcome) ->
+      if Harness.Engine.truncated o then Some o.stop else None)
+    outcomes
+
+(* Wrap a command body so our own [failwith]s (and unreadable or
+   malformed --file arguments) become exit code 2. *)
 let usage_checked f =
   try f () with
   | Failure msg | Sys_error msg ->
       Format.eprintf "julie: %s@." msg;
+      exit_usage
+  | Petri.Parser.Syntax_error e ->
+      Format.eprintf "julie: %a@." Petri.Parser.pp_error e;
       exit_usage
 
 (* ------------------------------------------------------------------ *)
@@ -97,7 +113,13 @@ let with_obs opts f =
 let observed_run opts ~net_name ~engine f =
   Gpo_obs.reset ();
   Gpo_obs.meta "run" [ ("net", Gpo_obs.S net_name); ("engine", Gpo_obs.S engine) ];
-  let outcome = f () in
+  let outcome : Harness.Engine.outcome = f () in
+  Gpo_obs.meta "outcome"
+    [
+      ("engine", Gpo_obs.S engine);
+      ("deadlock", Gpo_obs.B outcome.deadlock);
+      ("stop_reason", Gpo_obs.S (Guard.string_of_stop outcome.stop));
+    ];
   Gpo_obs.emit_snapshot ();
   if opts.stats then Format.printf "%a@." Gpo_obs.pp_summary (Gpo_obs.snapshot ());
   outcome
@@ -147,6 +169,35 @@ let size_arg =
 let max_states_arg =
   let doc = "State budget for the explicit engines." in
   Arg.(value & opt int 5_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* Resource governance (shared by the verdict commands)                *)
+
+let timeout_arg =
+  let doc =
+    "Wall-clock deadline in $(docv) seconds for each engine run.  A run \
+     that overshoots stops cooperatively and reports stop reason \
+     $(i,deadline); a clean verdict is then inconclusive (exit 2), while \
+     a violation found before the deadline still counts."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let mem_mb_arg =
+  let doc =
+    "Soft memory budget in $(docv) MiB for each engine run.  When the \
+     major heap crosses the budget the run stops with stop reason \
+     $(i,memory) and degrades to an inconclusive verdict instead of \
+     crashing."
+  in
+  Arg.(value & opt (some int) None & info [ "mem-mb" ] ~docv:"MB" ~doc)
+
+(* Run [body ?guard] under a guard armed with the requested budgets;
+   without budgets, no guard is created and the default path is
+   untouched. *)
+let guarded ?deadline_s ?mem_mb body =
+  match (deadline_s, mem_mb) with
+  | None, None -> body None
+  | _ -> Guard.with_guard ?deadline_s ?mem_mb (fun g -> body (Some g))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -199,12 +250,17 @@ let resolve_jobs n = if n <= 0 then Par.Pool.default_jobs () else n
 (* Run one selection.  The portfolio races for the verdict itself, so
    its GPO entrant always uses the hardened (scan) configuration —
    the paper configuration can miss deadlocks. *)
-let run_sel ~max_states ~witness ~gpo_scan ~jobs sel net =
+let run_sel ~max_states ~witness ~gpo_scan ~jobs ?deadline_s ?mem_mb sel net =
   match sel with
-  | Single kind -> Harness.Engine.run ~max_states ~witness ~gpo_scan ~jobs kind net
+  | Single kind ->
+      guarded ?deadline_s ?mem_mb (fun guard ->
+          Harness.Engine.run ~max_states ~witness ~gpo_scan ~jobs ?guard kind net)
   | Portfolio ->
+      (* The portfolio arms one guard per entrant, inside each racing
+         domain (Gc alarms are per-domain). *)
       let r =
-        Harness.Portfolio.run ~max_states ~witness ~gpo_scan:true ~jobs net
+        Harness.Portfolio.run ~max_states ~witness ~gpo_scan:true ~jobs
+          ?deadline_s ?mem_mb net
       in
       Format.printf "portfolio: %s won [%s]%s@."
         (Harness.Engine.name r.Harness.Portfolio.outcome.Harness.Engine.kind)
@@ -223,7 +279,7 @@ let witness_arg =
   in
   Arg.(value & flag & info [ "w"; "witness" ] ~doc)
 
-let analyze file builtin size engines max_states jobs witness obs =
+let analyze file builtin size engines max_states jobs witness timeout mem_mb obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
@@ -239,7 +295,8 @@ let analyze file builtin size engines max_states jobs witness obs =
         let o =
           observed_run obs ~net_name:net.Petri.Net.name ~engine:(sel_name sel)
             (fun () ->
-              run_sel ~max_states ~witness ~gpo_scan:false ~jobs sel net)
+              run_sel ~max_states ~witness ~gpo_scan:false ~jobs
+                ?deadline_s:timeout ?mem_mb sel net)
         in
         Format.printf "%a@." Harness.Engine.pp_outcome o;
         (match o.Harness.Engine.witness with
@@ -254,7 +311,7 @@ let analyze file builtin size engines max_states jobs witness obs =
   match Harness.Certify.conclusion outcomes with
   | `Violated -> exit_violated
   | `Holds -> exit_holds
-  | `Inconclusive -> inconclusive ()
+  | `Inconclusive -> inconclusive ?stop:(first_stop outcomes) ()
 
 let analyze_cmd =
   let info =
@@ -266,17 +323,20 @@ let analyze_cmd =
   in
   Cmd.v info
     Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ jobs_arg $ witness_arg $ obs_term)
+          $ max_states_arg $ jobs_arg $ witness_arg $ timeout_arg $ mem_mb_arg
+          $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
 
-let trace file builtin size engine max_states jobs =
+let trace file builtin size engine max_states jobs timeout mem_mb =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   let jobs = resolve_jobs jobs in
   let o =
-    Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true ~jobs engine net
+    guarded ?deadline_s:timeout ?mem_mb (fun guard ->
+        Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true ~jobs ?guard
+          engine net)
   in
   match o.Harness.Engine.witness with
   | Some tr ->
@@ -291,7 +351,8 @@ let trace file builtin size engine max_states jobs =
           (Harness.Engine.name engine);
         exit_indeterminate
       end
-      else if o.Harness.Engine.truncated then inconclusive ()
+      else if Harness.Engine.truncated o then
+        inconclusive ~stop:o.Harness.Engine.stop ()
       else begin
         Format.printf "deadlock free (%s engine, %.0f %s)@."
           (Harness.Engine.name engine)
@@ -315,7 +376,7 @@ let trace_cmd =
   in
   Cmd.v info
     Term.(const trace $ file_arg $ model_arg $ size_arg $ engine $ max_states_arg
-          $ jobs_arg)
+          $ jobs_arg $ timeout_arg $ mem_mb_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / fig                                                        *)
@@ -397,7 +458,7 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 (* safety                                                              *)
 
-let safety file builtin size cover engine jobs obs =
+let safety file builtin size cover engine jobs timeout mem_mb obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   if cover = [] then failwith "--place PLACE (repeatable) is required";
@@ -416,8 +477,8 @@ let safety file builtin size cover engine jobs obs =
        paper configuration can miss covering markings. *)
     observed_run obs ~net_name:monitored.Petri.Net.name
       ~engine:(sel_name engine) (fun () ->
-        run_sel ~max_states:5_000_000 ~witness:true ~gpo_scan:true ~jobs engine
-          monitored)
+        run_sel ~max_states:5_000_000 ~witness:true ~gpo_scan:true ~jobs
+          ?deadline_s:timeout ?mem_mb engine monitored)
   in
   if outcome.Harness.Engine.deadlock then begin
     Format.printf "VIOLATED: {%s} can be marked simultaneously@."
@@ -434,7 +495,8 @@ let safety file builtin size cover engine jobs obs =
         | None -> ()));
     exit_violated
   end
-  else if outcome.Harness.Engine.truncated then inconclusive ()
+  else if Harness.Engine.truncated outcome then
+    inconclusive ~stop:outcome.Harness.Engine.stop ()
   else begin
     Format.printf "holds: {%s} never marked simultaneously (%s engine, %.0f %s)@."
       (String.concat ", " cover)
@@ -464,12 +526,12 @@ let safety_cmd =
   in
   Cmd.v info
     Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine
-          $ jobs_arg $ obs_term)
+          $ jobs_arg $ timeout_arg $ mem_mb_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
 
-let certify file builtin size engines max_states jobs cover obs =
+let certify file builtin size engines max_states jobs cover timeout mem_mb obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   let jobs = resolve_jobs jobs in
@@ -491,13 +553,14 @@ let certify file builtin size engines max_states jobs cover obs =
     match property with None -> net | Some p -> Petri.Safety.monitor net p
   in
   with_obs obs @@ fun () ->
-  let verdicts =
+  let results =
     List.map
       (fun sel ->
         let o =
           observed_run obs ~net_name:target.Petri.Net.name
             ~engine:(sel_name sel) (fun () ->
-              run_sel ~max_states ~witness:true ~gpo_scan:true ~jobs sel target)
+              run_sel ~max_states ~witness:true ~gpo_scan:true ~jobs
+                ?deadline_s:timeout ?mem_mb sel target)
         in
         let v =
           match property with
@@ -506,9 +569,10 @@ let certify file builtin size engines max_states jobs cover obs =
         in
         Format.printf "@[<v 2>%-8s %a@]@." (sel_name sel)
           (Harness.Certify.pp net) v;
-        v)
+        (o, v))
       engines
   in
+  let verdicts = List.map snd results in
   let any p = List.exists p verdicts in
   if any (function Harness.Certify.Rejected _ -> true | _ -> false) then begin
     Format.printf "CERTIFICATION FAILED: a claimed violation did not check out@.";
@@ -516,7 +580,7 @@ let certify file builtin size engines max_states jobs cover obs =
   end
   else if any Harness.Certify.certified then exit_violated
   else if any (function Harness.Certify.Inconclusive -> true | _ -> false) then
-    inconclusive ()
+    inconclusive ?stop:(first_stop (List.map fst results)) ()
   else exit_holds
 
 let certify_cmd =
@@ -537,7 +601,8 @@ let certify_cmd =
   in
   Cmd.v info
     Term.(const certify $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ jobs_arg $ cover $ obs_term)
+          $ max_states_arg $ jobs_arg $ cover $ timeout_arg $ mem_mb_arg
+          $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* siphons                                                             *)

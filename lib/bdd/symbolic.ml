@@ -90,8 +90,11 @@ type result = {
   peak_set_nodes : int;
   deadlock : Petri.Bitset.t option;
   witness : Petri.Net.transition list option;
+  stop : Guard.stop_reason;
   time_s : float;
 }
+
+let truncated result = result.stop <> Guard.Completed
 
 (* Telemetry: fixpoint progress and unique-table health. *)
 let c_iterations = Gpo_obs.Counter.make "smv.iterations"
@@ -108,7 +111,7 @@ let d_witness_len = Gpo_obs.Dist.make "smv.witness.length"
    relations for a transition whose preimage of the current marking
    meets the previous layer — yields a shortest firing sequence from
    the initial marking to [target]. *)
-let reconstruct enc layers target =
+let reconstruct ?cancel enc layers target =
   let m = enc.Internal.manager in
   let member marking layer =
     not (Bdd.is_zero (Bdd.and_ m layer (Internal.cube_of_marking enc marking)))
@@ -123,6 +126,8 @@ let reconstruct enc layers target =
     find 0
   in
   let rec walk i marking acc =
+    Par.Cancel.check_opt cancel;
+    Guard.Fault.probe "smv.witness";
     if i = 0 then acc
     else begin
       let cube = Internal.cube_of_marking enc marking in
@@ -145,7 +150,7 @@ let reconstruct enc layers target =
   in
   walk depth target []
 
-let analyse ?(partitioned = true) ?(witness = false) ?cancel
+let analyse ?(partitioned = true) ?(witness = false) ?cancel ?guard
     (net : Petri.Net.t) =
   let t0 = Unix.gettimeofday () in
   Gpo_obs.Counter.touch c_iterations;
@@ -162,27 +167,39 @@ let analyse ?(partitioned = true) ?(witness = false) ?cancel
   (* BFS layers for witness reconstruction, newest first; only retained
      when a witness was requested (each layer pins its BDD live). *)
   let layers = ref [ enc.initial ] in
-  let rec fixpoint reached frontier iterations =
-    Par.Cancel.check_opt cancel;
-    if Bdd.is_zero frontier then (reached, iterations)
-    else begin
-      let successors = Gpo_obs.Span.time "smv.image" (fun () -> image frontier) in
-      let fresh = Bdd.and_ m successors (Bdd.not_ m reached) in
-      if witness && not (Bdd.is_zero fresh) then layers := fresh :: !layers;
-      let reached = Bdd.or_ m reached fresh in
-      let set_size = Bdd.size reached in
-      if set_size > !peak_set then peak_set := set_size;
-      Gpo_obs.Counter.incr c_iterations;
-      Gpo_obs.Progress.sample "smv" (fun () ->
-          [
-            ("iterations", Gpo_obs.I (iterations + 1));
-            ("live_nodes", Gpo_obs.I (Bdd.live_nodes m));
-            ("set_nodes", Gpo_obs.I set_size);
-          ]);
-      fixpoint reached fresh (iterations + 1)
-    end
-  in
-  let reached, iterations = fixpoint enc.initial enc.initial 0 in
+  let reached = ref enc.initial in
+  let frontier = ref enc.initial in
+  let iterations = ref 0 in
+  let interrupt = ref Guard.Completed in
+  (* One fixpoint iteration dwarfs a clock read, so the guard is polled
+     unmasked here.  An interrupt keeps the layers accumulated so far:
+     every marking in the partial [reached] really is reachable, so a
+     deadlock found below is still a sound verdict — only a clean
+     "no deadlock" becomes inconclusive. *)
+  (try
+     while not (Bdd.is_zero !frontier) do
+       Guard.check_now ?cancel ?guard ();
+       Guard.Fault.probe "smv.iter";
+       let successors =
+         Gpo_obs.Span.time "smv.image" (fun () -> image !frontier)
+       in
+       let fresh = Bdd.and_ m successors (Bdd.not_ m !reached) in
+       if witness && not (Bdd.is_zero fresh) then layers := fresh :: !layers;
+       reached := Bdd.or_ m !reached fresh;
+       let set_size = Bdd.size !reached in
+       if set_size > !peak_set then peak_set := set_size;
+       Gpo_obs.Counter.incr c_iterations;
+       incr iterations;
+       Gpo_obs.Progress.sample "smv" (fun () ->
+           [
+             ("iterations", Gpo_obs.I !iterations);
+             ("live_nodes", Gpo_obs.I (Bdd.live_nodes m));
+             ("set_nodes", Gpo_obs.I set_size);
+           ]);
+       frontier := fresh
+     done
+   with Guard.Interrupted reason -> interrupt := reason);
+  let reached = !reached and iterations = !iterations in
   Gpo_obs.Gauge.set_int g_peak_live (Bdd.peak_nodes m);
   Gpo_obs.Gauge.set_int g_peak_set !peak_set;
   Gpo_obs.Gauge.set_int g_unique_size (Bdd.live_nodes m);
@@ -205,7 +222,7 @@ let analyse ?(partitioned = true) ?(witness = false) ?cancel
         Some
           (Gpo_obs.Span.time "smv.witness" (fun () ->
                let trace =
-                 reconstruct enc (Array.of_list (List.rev !layers)) dead
+                 reconstruct ?cancel enc (Array.of_list (List.rev !layers)) dead
                in
                Gpo_obs.Dist.observe_int d_witness_len (List.length trace);
                trace))
@@ -218,6 +235,7 @@ let analyse ?(partitioned = true) ?(witness = false) ?cancel
     peak_set_nodes = !peak_set;
     deadlock;
     witness;
+    stop = !interrupt;
     time_s = Unix.gettimeofday () -. t0;
   }
 

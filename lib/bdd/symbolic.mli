@@ -24,12 +24,21 @@ type result = {
           sequence from the initial marking to [m], reconstructed by
           walking the BFS frontier layers backwards with per-transition
           preimages. *)
+  stop : Guard.stop_reason;
+      (** Why the fixpoint ended; any reason but [Completed] means the
+          reachable set is only partially covered.  A deadlock found in
+          a partial run is still sound — every marking in the partial
+          fixpoint is reachable — but a clean partial run proves
+          nothing. *)
   time_s : float;  (** Wall-clock time of the analysis. *)
 }
 
+val truncated : result -> bool
+(** [stop <> Completed]. *)
+
 val analyse :
   ?partitioned:bool -> ?witness:bool -> ?cancel:Par.Cancel.t ->
-  Petri.Net.t -> result
+  ?guard:Guard.t -> Petri.Net.t -> result
 (** Run the symbolic reachability analysis.  [partitioned] (default
     [true]) keeps one relation per transition and accumulates the
     per-transition images; [false] builds the monolithic disjunction
@@ -37,9 +46,11 @@ val analyse :
     [false]) retains the frontier layers during the fixpoint and, if a
     deadlock exists, reconstructs a concrete firing sequence to it
     (reported in the [witness] field; costs one live BDD per layer).
-    [cancel] is polled once per fixpoint iteration; each analysis owns
-    a fresh BDD manager, so the engine is domain-safe and needs no
-    further synchronisation. *)
+    [cancel] and [guard] are polled once per fixpoint iteration (and
+    [cancel] again at every witness walk-back step); a tripped guard
+    ends the fixpoint early with the partial reachable set and [stop]
+    carrying the reason.  Each analysis owns a fresh BDD manager, so
+    the engine is domain-safe and needs no further synchronisation. *)
 
 val reachable_count : Petri.Net.t -> float
 (** Convenience: just the number of reachable markings. *)

@@ -453,8 +453,10 @@ module Make (W : World_set_intf.S) = struct
       edges : int;
       runs : run list;
       deadlocks : witness list;
-      truncated : bool;
+      stop : Guard.stop_reason;
     }
+
+    let truncated result = result.stop <> Guard.Completed
 
     (* Per-state enabling information, computed once. *)
     type enabling = {
@@ -713,7 +715,7 @@ module Make (W : World_set_intf.S) = struct
       walk marking
 
     let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
-        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ?cancel ctx =
+        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ?cancel ?guard ctx =
       let net = Dynamics.net ctx in
       let choice = Dynamics.choice_transitions ctx in
       let partner_pre = partner_presets ctx in
@@ -745,9 +747,11 @@ module Make (W : World_set_intf.S) = struct
           Queue.add (root, origin) pending
         end
       in
+      let interrupt = ref Guard.Completed in
       schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
+      (try
       while not (Queue.is_empty pending) do
-        Par.Cancel.check_opt cancel;
+        Guard.check_now ?cancel ?guard ();
         let root, origin = Queue.pop pending in
         (match origin with
         | Init -> ()
@@ -775,7 +779,10 @@ module Make (W : World_set_intf.S) = struct
         incr total_states;
         Gpo_obs.Counter.incr c_states;
         while !current <> None do
-          Par.Cancel.check_opt cancel;
+          (* One state expansion recomputes the full enabling relation
+             over world sets — far heavier than an unmasked poll. *)
+          Guard.check_now ?cancel ?guard ();
+          Guard.Fault.probe "gpo.step";
           let s, prev_rejections =
             match !current with Some v -> v | None -> assert false
           in
@@ -997,28 +1004,34 @@ module Make (W : World_set_intf.S) = struct
           flush_deviations ();
           Gpo_obs.Span.exit sp_fire
         done
-      done;
+      done
+      with Guard.Interrupted reason -> interrupt := reason);
       {
         ctx;
         states = !total_states;
         edges = !edges;
         runs = List.rev !runs;
         deadlocks = List.rev !deadlocks;
-        truncated = !truncated;
+        stop =
+          (if !interrupt <> Guard.Completed then !interrupt
+           else if !truncated then Guard.State_budget
+           else Guard.Completed);
       }
 
     let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?cancel
-        net =
+        ?guard net =
       with_gpn_lock @@ fun () ->
       explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?cancel
-        (Dynamics.make net)
+        ?guard (Dynamics.make net)
 
     let deadlock_free result = result.deadlocks = []
 
     (* Transitions fired by world [v] along the run's path from its
        initial state to [target]. *)
-    let replay_in_world ctx run v target =
+    let replay_in_world ?cancel ctx run v target =
       let rec path s acc =
+        Par.Cancel.check_opt cancel;
+        Guard.Fault.probe "gpo.witness";
         match State.Table.find_opt run.predecessor s with
         | None -> acc
         | Some (label, s_prev) -> path s_prev ((s_prev, label) :: acc)
@@ -1041,23 +1054,24 @@ module Make (W : World_set_intf.S) = struct
 
     (* Classical trace from the net's initial marking to the run's
        root. *)
-    let rec root_trace ctx run =
+    let rec root_trace ?cancel ctx run =
       match run.origin with
       | Init -> []
       | Deviation { parent; state; world; transition } ->
-          root_trace ctx parent
-          @ replay_in_world ctx parent world state
+          root_trace ?cancel ctx parent
+          @ replay_in_world ?cancel ctx parent world state
           @ [ transition ]
 
     let d_witness_len = Gpo_obs.Dist.make "gpo.witness.length"
 
-    let deadlock_trace result witness =
+    let deadlock_trace ?cancel result witness =
       with_gpn_lock @@ fun () ->
       Gpo_obs.Span.time "gpo.witness" @@ fun () ->
       let ctx = result.ctx in
       let v = W.choose witness.worlds in
       let trace =
-        root_trace ctx witness.run @ replay_in_world ctx witness.run v witness.state
+        root_trace ?cancel ctx witness.run
+        @ replay_in_world ?cancel ctx witness.run v witness.state
       in
       Gpo_obs.Dist.observe_int d_witness_len (List.length trace);
       trace
@@ -1068,7 +1082,9 @@ module Make (W : World_set_intf.S) = struct
         (List.length result.runs)
         (if result.deadlocks = [] then "deadlock free"
          else Printf.sprintf "%d deadlock witness(es)" (List.length result.deadlocks))
-        (if result.truncated then " (truncated)" else "")
+        (if truncated result then
+           Printf.sprintf " (stopped: %s)" (Guard.describe_stop result.stop)
+         else "")
   end
 end
 

@@ -13,13 +13,21 @@ type report = {
   detail : string option;
 }
 
+exception Incomplete of Guard.stop_reason
+
 let validate ?reduction ?thorough ?(max_states = 200_000) (net : Petri.Net.t) =
-  let classical =
-    Petri.Reachability.explore ~max_states ~max_deadlocks:max_int net
-  in
-  if classical.truncated then failwith "Validate: classical exploration truncated";
-  let gpo = Explorer.analyse ?reduction ?thorough ~max_states net in
-  if gpo.truncated then failwith "Validate: GPO exploration truncated";
+  match
+    let classical =
+      Petri.Reachability.explore ~max_states ~max_deadlocks:max_int net
+    in
+    if Petri.Reachability.truncated classical then
+      raise (Incomplete classical.stop);
+    let gpo = Explorer.analyse ?reduction ?thorough ~max_states net in
+    if Explorer.truncated gpo then raise (Incomplete gpo.stop);
+    (classical, gpo)
+  with
+  | exception Incomplete reason -> Error reason
+  | classical, gpo ->
   let detail = ref None in
   let note fmt = Printf.ksprintf (fun s -> if !detail = None then detail := Some s) fmt in
   let classical_dead = classical.deadlocks in
@@ -90,17 +98,18 @@ let validate ?reduction ?thorough ?(max_states = 200_000) (net : Petri.Net.t) =
             false)
       gpo.deadlocks
   in
-  {
-    verdict_agrees;
-    witnesses_sound;
-    witnesses_complete;
-    denotations_reachable;
-    traces_valid;
-    classical_states = classical.states;
-    gpo_states = gpo.states;
-    classical_deadlocks = classical.deadlock_count;
-    detail = !detail;
-  }
+  Ok
+    {
+      verdict_agrees;
+      witnesses_sound;
+      witnesses_complete;
+      denotations_reachable;
+      traces_valid;
+      classical_states = classical.states;
+      gpo_states = gpo.states;
+      classical_deadlocks = classical.deadlock_count;
+      detail = !detail;
+    }
 
 let ok r =
   r.verdict_agrees && r.witnesses_sound && r.witnesses_complete

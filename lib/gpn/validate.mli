@@ -37,10 +37,11 @@ val validate :
   ?thorough:bool ->
   ?max_states:int ->
   Petri.Net.t ->
-  report
+  (report, Guard.stop_reason) result
 (** Run both engines exhaustively ([max_states] defaults to [200_000])
-    and compare.  Raises [Failure] if either exploration is truncated —
-    use small nets. *)
+    and compare.  [Error reason] if either exploration stopped before
+    covering its state space (typically [State_budget] — use small
+    nets); the comparison would be meaningless on partial spaces. *)
 
 val ok : report -> bool
 (** All five checks passed. *)

@@ -206,6 +206,9 @@ let rec union s t =
     | (Leaf _ as lf), t -> insert lf t
     | s, (Leaf _ as lf) -> insert lf s
     | Branch sb, Branch tb -> begin
+        (* Fault probe on the memoized slow path only: the cheap
+           structural cases above stay probe-free. *)
+        Guard.Fault.probe "worldset.op";
         let key = pack_comm sb.uid tb.uid in
         match Hashtbl.find_opt union_cache key with
         | Some r ->
@@ -446,3 +449,7 @@ let clear_caches () =
   Hashtbl.reset inter_cache;
   Hashtbl.reset diff_cache;
   Hashtbl.reset filter_cache
+
+(* Under memory pressure the memo tables are the recoverable ballast:
+   dropping them costs recomputation, not correctness. *)
+let () = Guard.on_memory_pressure clear_caches

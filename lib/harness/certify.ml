@@ -40,9 +40,15 @@ let replay_check net trace ~accept ~reject =
 
 let of_outcome ~certify (outcome : Engine.outcome) =
   if not outcome.Engine.deadlock then
-    if outcome.Engine.truncated then Inconclusive else Clean
+    if Engine.truncated outcome then Inconclusive else Clean
   else
     match outcome.Engine.witness with
+    | None when Engine.truncated outcome ->
+        (* The engine saw a violation but was stopped (deadline, memory,
+           cancellation) before a witness could be reconstructed: there
+           is nothing to certify and nothing to reject — the run is
+           inconclusive, not untrustworthy. *)
+        Inconclusive
     | None ->
         Gpo_obs.Counter.incr c_rejected;
         Rejected No_witness
@@ -66,8 +72,7 @@ let conclusion outcomes =
      verdict from a truncated run is not a verdict at all. *)
   if List.exists (fun (o : Engine.outcome) -> o.Engine.deadlock) outcomes then
     `Violated
-  else if List.exists (fun (o : Engine.outcome) -> o.Engine.truncated) outcomes
-  then `Inconclusive
+  else if List.exists Engine.truncated outcomes then `Inconclusive
   else `Holds
 
 let certified = function Certified _ -> true | _ -> false

@@ -25,7 +25,12 @@ type verdict =
           defect.  For safety verdicts, [trace] and [final] are on the
           {e original} net. *)
   | Rejected of rejection  (** The claimed violation did not check out. *)
-  | Inconclusive  (** No violation claimed, but the run was truncated. *)
+  | Inconclusive
+      (** The run stopped early ([stop <> Completed]: state budget,
+          deadline, memory, cancellation) without a certifiable
+          violation — either no violation was claimed, or one was
+          claimed but the stop preempted witness reconstruction.
+          Nothing was proven either way. *)
   | Clean  (** No violation claimed by an exhaustive run. *)
 
 val deadlock : Petri.Net.t -> Engine.outcome -> verdict

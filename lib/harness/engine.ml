@@ -6,10 +6,11 @@ type outcome = {
   metric : float;
   deadlock : bool;
   time_s : float;
-  truncated : bool;
+  stop : Guard.stop_reason;
   witness : Petri.Trace.t option;
 }
 
+let truncated o = o.stop <> Guard.Completed
 let all = [ Full; Stubborn; Symbolic; Gpo ]
 
 let name = function
@@ -25,95 +26,127 @@ let timed f =
 
 (* Witness reconstruction for the explicit engines: walk the predecessor
    map back from the first retained deadlocked marking. *)
-let explicit_witness (r : Petri.Reachability.result) =
+let explicit_witness ?cancel (r : Petri.Reachability.result) =
   match r.deadlocks with
   | [] -> None
   | m :: _ ->
       Some
         (Gpo_obs.Span.time "reach.witness" (fun () ->
-             Petri.Reachability.trace_to r m))
+             Petri.Reachability.trace_to ?cancel r m))
 
 let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false)
-    ?cancel ?(jobs = 1) kind net =
+    ?cancel ?guard ?(jobs = 1) kind net =
   Gpo_obs.Span.time ("engine." ^ name kind) @@ fun () ->
-  match kind with
-  | Full ->
-      let r, time_s =
-        timed (fun () ->
-            if jobs > 1 then
-              Petri.Reachability.explore_par ~jobs ~max_states ~traces:witness
-                ?cancel net
-            else
-              Petri.Reachability.explore ~max_states ~traces:witness ?cancel
+  let t0 = Unix.gettimeofday () in
+  let attempt () =
+    match kind with
+    | Full ->
+        let r, time_s =
+          timed (fun () ->
+              if jobs > 1 then
+                Petri.Reachability.explore_par ~jobs ~max_states ~traces:witness
+                  ?cancel ?guard net
+              else
+                Petri.Reachability.explore ~max_states ~traces:witness ?cancel
+                  ?guard net)
+        in
+        {
+          kind;
+          states = float_of_int r.states;
+          metric = float_of_int r.states;
+          deadlock = r.deadlock_count > 0;
+          time_s;
+          stop = r.stop;
+          witness = (if witness then explicit_witness ?cancel r else None);
+        }
+    | Stubborn ->
+        let r, time_s =
+          timed (fun () ->
+              if jobs > 1 then
+                Petri.Stubborn.explore_par ~jobs ~max_states ~traces:witness
+                  ?cancel ?guard net
+              else
+                Petri.Stubborn.explore ~max_states ~traces:witness ?cancel
+                  ?guard net)
+        in
+        {
+          kind;
+          states = float_of_int r.states;
+          metric = float_of_int r.states;
+          deadlock = r.deadlock_count > 0;
+          time_s;
+          stop = r.stop;
+          witness = (if witness then explicit_witness ?cancel r else None);
+        }
+    | Symbolic ->
+        let r, time_s =
+          timed (fun () -> Bddkit.Symbolic.analyse ~witness ?cancel ?guard net)
+        in
+        {
+          kind;
+          states = r.states;
+          metric = float_of_int r.peak_live_nodes;
+          deadlock = r.deadlock <> None;
+          time_s;
+          stop = r.stop;
+          witness = r.witness;
+        }
+    | Gpo ->
+        (* Default: the paper-faithful configuration, no deviation scan
+           (Section 3.3 as published) — sound on found deadlocks but not
+           complete on every net.  [gpo_scan] switches to the library's
+           hardened default (scan = true), the configuration certification
+           and conformance tooling must use. *)
+        let r, time_s =
+          timed (fun () ->
+              Gpn.Explorer.analyse ~scan:gpo_scan ~max_states ?cancel ?guard
                 net)
-      in
-      {
-        kind;
-        states = float_of_int r.states;
-        metric = float_of_int r.states;
-        deadlock = r.deadlock_count > 0;
-        time_s;
-        truncated = r.truncated;
-        witness = (if witness then explicit_witness r else None);
-      }
-  | Stubborn ->
-      let r, time_s =
-        timed (fun () ->
-            if jobs > 1 then
-              Petri.Stubborn.explore_par ~jobs ~max_states ~traces:witness
-                ?cancel net
-            else
-              Petri.Stubborn.explore ~max_states ~traces:witness ?cancel net)
-      in
-      {
-        kind;
-        states = float_of_int r.states;
-        metric = float_of_int r.states;
-        deadlock = r.deadlock_count > 0;
-        time_s;
-        truncated = r.truncated;
-        witness = (if witness then explicit_witness r else None);
-      }
-  | Symbolic ->
-      let r, time_s =
-        timed (fun () -> Bddkit.Symbolic.analyse ~witness ?cancel net)
-      in
-      {
-        kind;
-        states = r.states;
-        metric = float_of_int r.peak_live_nodes;
-        deadlock = r.deadlock <> None;
-        time_s;
-        truncated = false;
-        witness = r.witness;
-      }
-  | Gpo ->
-      (* Default: the paper-faithful configuration, no deviation scan
-         (Section 3.3 as published) — sound on found deadlocks but not
-         complete on every net.  [gpo_scan] switches to the library's
-         hardened default (scan = true), the configuration certification
-         and conformance tooling must use. *)
-      let r, time_s =
-        timed (fun () ->
-            Gpn.Explorer.analyse ~scan:gpo_scan ~max_states ?cancel net)
-      in
-      let trace =
-        match r.Gpn.Explorer.deadlocks with
-        | w :: _ when witness -> Some (Gpn.Explorer.deadlock_trace r w)
-        | _ -> None
-      in
-      {
-        kind;
-        states = float_of_int r.states;
-        metric = float_of_int r.states;
-        deadlock = not (Gpn.Explorer.deadlock_free r);
-        time_s;
-        truncated = r.truncated;
-        witness = trace;
-      }
+        in
+        let trace =
+          match r.Gpn.Explorer.deadlocks with
+          | w :: _ when witness -> Some (Gpn.Explorer.deadlock_trace ?cancel r w)
+          | _ -> None
+        in
+        {
+          kind;
+          states = float_of_int r.states;
+          metric = float_of_int r.states;
+          deadlock = not (Gpn.Explorer.deadlock_free r);
+          time_s;
+          stop = r.stop;
+          witness = trace;
+        }
+  in
+  let degraded stop =
+    {
+      kind;
+      states = 0.;
+      metric = 0.;
+      deadlock = false;
+      time_s = Unix.gettimeofday () -. t0;
+      stop;
+      witness = None;
+    }
+  in
+  match attempt () with
+  | o -> o
+  | exception Out_of_memory ->
+      (* Last-ditch recovery: the allocator failed before (or without)
+         a soft budget tripping.  Drop the recoverable caches so the
+         degraded outcome can be built, and report the run as stopped
+         by memory — never as a verdict.  Cancellation, by contrast,
+         keeps unwinding: the portfolio owns that contract. *)
+      Guard.relieve_memory ();
+      degraded Guard.Memory
+  | exception Guard.Interrupted reason ->
+      (* A guard trip that escaped an engine loop (e.g. during witness
+         reconstruction): same degradation, with the recorded reason. *)
+      degraded reason
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%-8s %12.0f %s %8.3fs%s" (name o.kind) o.metric
     (if o.deadlock then "deadlock " else "dl-free  ")
     o.time_s
-    (if o.truncated then " (truncated)" else "")
+    (if truncated o then
+       Printf.sprintf " (stopped: %s)" (Guard.describe_stop o.stop)
+     else "")

@@ -20,7 +20,13 @@ type outcome = {
           peak live BDD nodes for the symbolic engine. *)
   deadlock : bool;
   time_s : float;  (** Wall-clock analysis time. *)
-  truncated : bool;  (** [true] if a state budget was exhausted. *)
+  stop : Guard.stop_reason;
+      (** Why the run ended.  [Completed] iff the engine covered its
+          whole state space; any other reason ([State_budget],
+          [Deadline], [Memory], ...) makes a clean verdict
+          inconclusive.  A [deadlock = true] verdict is sound under any
+          stop reason — partial exploration only visits reachable
+          states. *)
   witness : Petri.Trace.t option;
       (** When requested and [deadlock = true]: a firing sequence from
           the initial marking to a dead marking, reconstructed by the
@@ -28,6 +34,9 @@ type outcome = {
           layered preimages for the symbolic one, world linearization
           for GPO).  Check it independently with {!Certify}. *)
 }
+
+val truncated : outcome -> bool
+(** [stop <> Completed]. *)
 
 val all : kind list
 (** The four engines in Table 1 column order. *)
@@ -37,7 +46,8 @@ val name : kind -> string
 
 val run :
   ?max_states:int -> ?witness:bool -> ?gpo_scan:bool ->
-  ?cancel:Par.Cancel.t -> ?jobs:int -> kind -> Petri.Net.t -> outcome
+  ?cancel:Par.Cancel.t -> ?guard:Guard.t -> ?jobs:int ->
+  kind -> Petri.Net.t -> outcome
 (** Run one engine.  [max_states] (default [5_000_000]) bounds the
     explicit engines and GPO; the symbolic engine ignores it.
     [witness] (default [false]) makes a [deadlock = true] verdict carry
@@ -47,6 +57,13 @@ val run :
     [cancel] is a cooperative cancellation token polled in every
     engine's step loop; a set token unwinds the run with
     [Par.Cancel.Cancelled] (used by {!Portfolio} to stop the losers).
+    [guard] is a resource guard polled at the same points: a tripped
+    deadline or memory budget ends the run early with a partial
+    outcome whose [stop] carries the reason.  A genuine
+    [Out_of_memory] — the allocator dying before any soft budget
+    tripped — is caught here as well: the registered caches are
+    dropped ({!Guard.relieve_memory}) and the run degrades to an
+    outcome with [stop = Memory] instead of crashing.
     [jobs] (default [1]) selects domain-parallel exploration for the
     explicit engines ([Full]/[Stubborn] via
     {!Petri.Reachability.explore_par}); the symbolic and GPO engines

@@ -100,7 +100,7 @@ let skipped kind =
     metric = 0.;
     deadlock = false;
     time_s = 0.;
-    truncated = true;
+    stop = Guard.Deadline;
     witness = None;
   }
 
@@ -184,7 +184,7 @@ let pp_table1 ppf measurements =
         | None -> Format.asprintf "%-22s" "-"
         | Some o ->
             let measured =
-              if o.Engine.truncated then "skip"
+              if Engine.truncated o then "skip"
               else Format.asprintf "%a/%.2f" pp_float o.Engine.metric o.Engine.time_s
             in
             Format.asprintf "%s (%s)" measured
@@ -198,7 +198,7 @@ let pp_table1 ppf measurements =
         | None -> "-"
         | Some o ->
             Format.asprintf "%s (%a)"
-              (if o.Engine.truncated then "skip" else Format.asprintf "%a" pp_float o.Engine.metric)
+              (if Engine.truncated o then "skip" else Format.asprintf "%a" pp_float o.Engine.metric)
               pp_float m.paper.full_states
       in
       Format.fprintf ppf "%-10s| %-19s| %-22s| %-26s| %-22s@ "

@@ -4,15 +4,21 @@
 
    "Conclusive" means the verdict cannot change with more budget: a
    deadlock was found (sound for every engine we race), or the engine
-   finished without truncation.  A truncated deadlock-free outcome is a
-   non-answer, so a racer that truncates keeps losing to slower engines
-   that finish.
+   completed its whole state space.  A partial deadlock-free outcome is
+   a non-answer, so a racer that runs out of budget keeps losing to
+   slower engines that finish.
 
    Cancellation is cooperative: all entrants share one {!Par.Cancel}
    token, checked in every engine's step loop, and the first entrant to
    post a conclusive outcome sets it.  Losers unwind with
    [Par.Cancel.Cancelled] inside their own domain; the coordinator
    joins every domain before reporting, so no engine outlives the race.
+
+   Resource governance: [deadline_s]/[mem_mb] arm a per-entrant
+   {!Guard.t}, created {e inside} each racing domain (Gc alarms are
+   per-domain).  An entrant stopped by its guard reports the typed
+   reason instead of hanging the race, and an all-stopped race reports
+   why each entrant stopped.
 
    Telemetry: aggregate counters and gauges accumulate globally from
    every domain (they are atomic), so engine counters reflect all the
@@ -36,18 +42,22 @@ type report = {
   raced : Engine.kind list;
   conclusive : bool;
   cancelled_losers : int;
+  stops : (Engine.kind * Guard.stop_reason) list;
 }
 
-let conclusive (o : Engine.outcome) = o.deadlock || not o.truncated
+let conclusive (o : Engine.outcome) = o.deadlock || o.stop = Guard.Completed
 
-let fate = function
-  | Done (o, _) ->
-      if conclusive o then "conclusive"
-      else "inconclusive"
-  | Cancelled -> "cancelled"
-  | Failed _ -> "failed"
+let stop_of = function
+  | Done (o, _) -> o.Engine.stop
+  | Cancelled -> Guard.Cancelled
+  | Failed (e, _) -> Guard.Crashed (Printexc.to_string e)
 
-let run ?max_states ?witness ?gpo_scan ?jobs
+let fate entry =
+  match entry with
+  | Done (o, _) when conclusive o -> "conclusive"
+  | Done _ | Cancelled | Failed _ -> Guard.string_of_stop (stop_of entry)
+
+let run ?max_states ?witness ?gpo_scan ?jobs ?deadline_s ?mem_mb
     ?(engines = [ Engine.Stubborn; Engine.Symbolic; Engine.Gpo ]) net =
   if engines = [] then invalid_arg "Portfolio.run: empty engine list";
   Gpo_obs.Counter.incr c_races;
@@ -59,8 +69,9 @@ let run ?max_states ?witness ?gpo_scan ?jobs
     let entry =
       match
         Gpo_obs.Scoped.capture (fun () ->
-            Engine.run ?max_states ?witness ?gpo_scan ?jobs ~cancel:token kind
-              net)
+            Guard.with_guard ?deadline_s ?mem_mb (fun guard ->
+                Engine.run ?max_states ?witness ?gpo_scan ?jobs ~cancel:token
+                  ~guard kind net))
       with
       | o, events -> Done (o, events)
       | exception Par.Cancel.Cancelled -> Cancelled
@@ -86,9 +97,11 @@ let run ?max_states ?witness ?gpo_scan ?jobs
     List.length (List.filter (fun (_, e) -> e = Cancelled) entries)
   in
   Gpo_obs.Counter.add c_cancelled cancelled_losers;
+  let stops = List.map (fun (kind, entry) -> (kind, stop_of entry)) entries in
   (* The CAS winner is the first conclusive arrival.  With none (every
-     entrant truncated or failed), fall back to the completed outcome
-     that got furthest, and failing that re-raise the first error. *)
+     entrant stopped short or failed), fall back to the completed
+     outcome that got furthest, and failing that re-raise the first
+     error. *)
   let chosen =
     match Atomic.get winner with
     | Some (kind, Done (o, events)) -> Some (kind, o, events)
@@ -130,4 +143,5 @@ let run ?max_states ?witness ?gpo_scan ?jobs
         raced = engines;
         conclusive = conclusive outcome;
         cancelled_losers;
+        stops;
       }

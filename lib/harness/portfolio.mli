@@ -23,6 +23,11 @@ type report = {
   cancelled_losers : int;
       (** Entrants that unwound via [Par.Cancel.Cancelled] — the
           cancellation handshake observed, which the tests assert. *)
+  stops : (Engine.kind * Guard.stop_reason) list;
+      (** Why each entrant stopped, in join order: [Completed] for a
+          finished analysis, [State_budget]/[Deadline]/[Memory] for a
+          budget, [Cancelled] for a race loser, [Crashed _] for an
+          entrant that died.  An all-failed race is explained here. *)
 }
 
 val run :
@@ -30,6 +35,8 @@ val run :
   ?witness:bool ->
   ?gpo_scan:bool ->
   ?jobs:int ->
+  ?deadline_s:float ->
+  ?mem_mb:int ->
   ?engines:Engine.kind list ->
   Petri.Net.t ->
   report

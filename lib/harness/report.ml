@@ -14,7 +14,8 @@ let json_of_outcome (o : Engine.outcome) =
       ("metric", num o.metric);
       ("deadlock", J.Bool o.deadlock);
       ("time_s", num o.time_s);
-      ("truncated", J.Bool o.truncated);
+      ("truncated", J.Bool (Engine.truncated o));
+      ("stop_reason", J.String (Guard.string_of_stop o.stop));
       ( "witness",
         match o.witness with
         | None -> J.Null

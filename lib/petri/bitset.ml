@@ -132,16 +132,26 @@ let c_interned = Gpo_obs.Counter.make "bitset.interned"
 let intern s =
   if s.tag >= 0 then s
   else begin
+    (* Fault probe sits before the lock: an injected failure must not
+       leave the process-wide intern lock held. *)
+    Guard.Fault.probe "bitset.intern";
     Mutex.lock intern_lock;
-    let r = Interned.merge interned_table s in
-    if r == s && s.tag < 0 then begin
-      (* Fresh canonical representative: assign its identity. *)
-      s.tag <- !next_tag;
-      incr next_tag;
-      Gpo_obs.Counter.incr c_interned
-    end;
-    Mutex.unlock intern_lock;
-    r
+    match
+      let r = Interned.merge interned_table s in
+      if r == s && s.tag < 0 then begin
+        (* Fresh canonical representative: assign its identity. *)
+        s.tag <- !next_tag;
+        incr next_tag;
+        Gpo_obs.Counter.incr c_interned
+      end;
+      r
+    with
+    | r ->
+        Mutex.unlock intern_lock;
+        r
+    | exception e ->
+        Mutex.unlock intern_lock;
+        raise e
   end
 
 let interned s = s.tag >= 0

@@ -1,12 +1,24 @@
-exception Syntax_error of int * string
+type error = { line : int; col : int; message : string }
 
-let fail line fmt = Printf.ksprintf (fun msg -> raise (Syntax_error (line, msg))) fmt
+exception Syntax_error of error
+
+let pp_error ppf e = Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+let () =
+  Printexc.register_printer (function
+    | Syntax_error e -> Some (Format.asprintf "Parser.Syntax_error(%a)" pp_error e)
+    | _ -> None)
+
+let fail line col fmt =
+  Printf.ksprintf (fun message -> raise (Syntax_error { line; col; message })) fmt
 
 let is_ident_char c =
   match c with
   | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '\'' | '[' | ']' | '-' -> true
   | _ -> false
 
+(* Tokens carry their 1-based starting column so every later error can
+   point at the offending token, not just its line. *)
 let tokenize line_no line =
   (* Split on whitespace, treating "->" and ":" as standalone tokens. *)
   let tokens = ref [] in
@@ -14,19 +26,23 @@ let tokenize line_no line =
   let i = ref 0 in
   while !i < n do
     let c = line.[!i] in
+    let col = !i + 1 in
     if c = ' ' || c = '\t' then incr i
     else if c = '#' then i := n
     else if c = ':' then begin
-      tokens := ":" :: !tokens;
+      tokens := (":", col) :: !tokens;
       incr i
     end
     else if c = '-' && !i + 1 < n && line.[!i + 1] = '>' then begin
-      tokens := "->" :: !tokens;
+      tokens := ("->", col) :: !tokens;
       i := !i + 2
     end
     else if c = '(' then begin
-      let close = try String.index_from line !i ')' with Not_found -> fail line_no "unclosed '('" in
-      tokens := String.sub line !i (close - !i + 1) :: !tokens;
+      let close =
+        try String.index_from line !i ')'
+        with Not_found -> fail line_no col "unclosed '('"
+      in
+      tokens := (String.sub line !i (close - !i + 1), col) :: !tokens;
       i := close + 1
     end
     else if is_ident_char c then begin
@@ -34,9 +50,9 @@ let tokenize line_no line =
       while !i < n && is_ident_char line.[!i] do
         incr i
       done;
-      tokens := String.sub line start (!i - start) :: !tokens
+      tokens := (String.sub line start (!i - start), col) :: !tokens
     end
-    else fail line_no "unexpected character %C" c
+    else fail line_no col "unexpected character %C" c
   done;
   List.rev !tokens
 
@@ -54,48 +70,83 @@ let get_place acc name =
       p
 
 let parse_line acc line_no tokens =
-  match tokens with
+  let line_col = match tokens with (_, c) :: _ -> c | [] -> 1 in
+  match List.map fst tokens with
   | [] -> ()
   | "net" :: _ -> () (* handled in a first pass *)
   | [ "pl"; name ] -> ignore (get_place acc name)
   | [ "pl"; name; "(1)" ] -> Builder.mark acc.builder (get_place acc name)
   | [ "pl"; name; "(0)" ] -> ignore (get_place acc name)
-  | "pl" :: _ -> fail line_no "malformed place line (expected: pl <name> [(0|1)])"
+  | "pl" :: _ ->
+      fail line_no line_col "malformed place line (expected: pl <name> [(0|1)])"
   | "tr" :: name :: ":" :: rest | "tr" :: name :: rest -> begin
       let rec split_arrow before = function
-        | [] -> fail line_no "transition %s: missing '->'" name
-        | "->" :: after -> (List.rev before, after)
-        | tok :: rest -> split_arrow (tok :: before) rest
+        | [] -> fail line_no line_col "transition %s: missing '->'" name
+        | ("->", _) :: after -> (List.rev before, after)
+        | (tok, _) :: rest -> split_arrow (tok :: before) rest
       in
-      let inputs, outputs = split_arrow [] rest in
-      if List.mem "->" outputs then fail line_no "transition %s: duplicate '->'" name;
+      let dropped = List.length tokens - List.length rest in
+      let inputs, outputs = split_arrow [] (List.filteri (fun i _ -> i >= dropped) tokens) in
+      (match List.find_opt (fun (tok, _) -> tok = "->") outputs with
+      | Some (_, col) -> fail line_no col "transition %s: duplicate '->'" name
+      | None -> ());
       let pre = List.map (get_place acc) inputs in
-      let post = List.map (get_place acc) outputs in
+      let post = List.map (get_place acc) (List.map fst outputs) in
       ignore (Builder.transition acc.builder name ~pre ~post)
     end
-  | tok :: _ -> fail line_no "unknown directive %S" tok
+  | tok :: _ -> fail line_no line_col "unknown directive %S" tok
 
-let of_string ?(name = "net") text =
-  let lines = String.split_on_char '\n' text in
-  (* First pass: find an optional net name. *)
-  let net_name = ref name in
-  List.iteri
-    (fun i line ->
-      match tokenize (i + 1) line with
-      | [ "net"; n ] -> net_name := n
-      | "net" :: _ :: _ :: _ -> fail (i + 1) "malformed net line"
-      | _ -> ())
-    lines;
-  let acc = { builder = Builder.create !net_name; known_places = [] } in
-  List.iteri (fun i line -> parse_line acc (i + 1) (tokenize (i + 1) line)) lines;
-  Builder.build acc.builder
+let parse ?(name = "net") text =
+  match
+    let lines = String.split_on_char '\n' text in
+    (* First pass: find an optional net name. *)
+    let net_name = ref name in
+    List.iteri
+      (fun i line ->
+        match tokenize (i + 1) line with
+        | [ ("net", _); (n, _) ] -> net_name := n
+        | ("net", _) :: _ :: (_, col) :: _ -> fail (i + 1) col "malformed net line"
+        | _ -> ())
+      lines;
+    let acc = { builder = Builder.create !net_name; known_places = [] } in
+    List.iteri
+      (fun i line ->
+        let line_no = i + 1 in
+        let tokens = tokenize line_no line in
+        try parse_line acc line_no tokens with
+        | Invalid_argument msg | Failure msg ->
+            (* Structural errors from the net builder (duplicate
+               transitions, ...) located at the offending line. *)
+            let col = match tokens with (_, c) :: _ -> c | [] -> 1 in
+            fail line_no col "%s" msg)
+      lines;
+    try Builder.build acc.builder
+    with Invalid_argument msg | Failure msg -> fail 0 0 "%s" msg
+  with
+  | net -> Ok net
+  | exception Syntax_error e -> Error e
+
+let parse_file path =
+  match
+    let ic = open_in path in
+    match really_input_string ic (in_channel_length ic) with
+    | text ->
+        close_in ic;
+        text
+    | exception e ->
+        close_in_noerr ic;
+        raise e
+  with
+  | text -> parse ~name:(Filename.remove_extension (Filename.basename path)) text
+  | exception Sys_error msg -> Error { line = 0; col = 0; message = msg }
+
+let of_string ?name text =
+  match parse ?name text with Ok net -> net | Error e -> raise (Syntax_error e)
 
 let of_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  match parse_file path with
+  | Ok net -> net
+  | Error e -> raise (Syntax_error e)
 
 let to_string (net : Net.t) =
   let buf = Buffer.create 1024 in

@@ -18,15 +18,35 @@
     implicitly by appearing in a [tr] line; an explicit [pl] line is
     only needed to mark a place or fix its declaration order. *)
 
-exception Syntax_error of int * string
-(** [(line_number, message)] raised on malformed input. *)
+type error = { line : int; col : int; message : string }
+(** A located parse error.  [line]/[col] are 1-based; structural
+    errors reported by the net builder after the last line carry
+    [line = 0]. *)
+
+exception Syntax_error of error
+(** Raised on malformed input by the exception-based entry points
+    {!of_string}/{!of_file}. *)
+
+val pp_error : Format.formatter -> error -> unit
+(** ["line L, column C: message"]. *)
+
+val parse : ?name:string -> string -> (Net.t, error) result
+(** Parse a net from a string.  The [net] line is optional; [name]
+    (default ["net"]) is used when absent.  Total: malformed input —
+    including structural errors such as duplicate transitions — yields
+    [Error]; no exception escapes. *)
+
+val parse_file : string -> (Net.t, error) result
+(** Parse a net from a file; the default name is the file's basename.
+    An unreadable file yields [Error] with [line = 0] and the system
+    message. *)
 
 val of_string : ?name:string -> string -> Net.t
-(** Parse a net from a string.  The [net] line is optional; [name]
-    (default ["net"]) is used when absent. *)
+(** {!parse}, raising {!Syntax_error} on malformed input. *)
 
 val of_file : string -> Net.t
-(** Parse a net from a file; the default name is the file's basename. *)
+(** {!parse_file}, raising {!Syntax_error} on malformed input or an
+    unreadable file. *)
 
 val to_string : Net.t -> string
 (** Serialize a net; [of_string (to_string net)] is structurally equal

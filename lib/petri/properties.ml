@@ -22,7 +22,7 @@ let check ?max_states (net : Net.t) =
   (* Reversibility: backward BFS from m0 over the reversed explored graph
      must reach every visited marking. *)
   let reversible =
-    if result.truncated then false
+    if Reachability.truncated result then false
     else begin
       let reverse = Table.create (Table.length result.visited) in
       Table.iter
@@ -57,7 +57,7 @@ let check ?max_states (net : Net.t) =
     quasi_live = Bitset.is_empty dead_transitions;
     reversible;
     states = result.states;
-    complete = not result.truncated;
+    complete = not (Reachability.truncated result);
   }
 
 let find_deadlock ?max_states net =

@@ -23,11 +23,12 @@ type result = {
   deadlocks : Bitset.t list;
   deadlock_count : int;
   unsafe : (Net.transition * Bitset.t) list;
-  truncated : bool;
+  stop : Guard.stop_reason;
   predecessor : (Net.transition * Bitset.t) Marking_table.t option;
   visited : unit Marking_table.t;
 }
 
+let truncated result = result.stop <> Guard.Completed
 let full (net : Net.t) m = Bitset.elements (Semantics.enabled_set net m)
 
 (* Visited-table size hint from a cheap structural bound: a safe net
@@ -47,7 +48,7 @@ let report_load_factor table =
     /. float_of_int (max 1 stats.Hashtbl.num_buckets))
 
 let explore_seq ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 16)
-    ?(traces = false) ?cancel (net : Net.t) =
+    ?(traces = false) ?cancel ?guard (net : Net.t) =
   let size_hint = table_size_hint net max_states in
   let visited = Marking_table.create size_hint in
   let predecessor = if traces then Some (Marking_table.create size_hint) else None in
@@ -58,6 +59,7 @@ let explore_seq ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 
   let unsafe = ref [] in
   let unsafe_count = ref 0 in
   let truncated = ref false in
+  let interrupt = ref Guard.Completed in
   Gpo_obs.Counter.touch c_states;
   Gpo_obs.Counter.touch c_edges;
   Gpo_obs.Counter.touch c_dedup_hits;
@@ -67,42 +69,52 @@ let explore_seq ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 
     Queue.add m queue
   in
   enqueue net.initial;
-  while not (Queue.is_empty queue) do
-    Par.Cancel.check_opt cancel;
-    let m = Queue.pop queue in
-    Gpo_obs.Progress.sample "reach" (fun () ->
-        [
-          ("states", Gpo_obs.I (Marking_table.length visited));
-          ("frontier", Gpo_obs.I (Queue.length queue));
-          ("edges", Gpo_obs.I !edges);
-        ]);
-    let to_fire = strategy net m in
-    if Semantics.is_deadlock net m then begin
-      incr deadlock_count;
-      Gpo_obs.Counter.incr c_deadlocks;
-      if !deadlock_count <= max_deadlocks then deadlocks := m :: !deadlocks
-    end;
-    let fire t =
-      let m', safe = Semantics.fire net t m in
-      incr edges;
-      Gpo_obs.Counter.incr c_edges;
-      if not safe then begin
-        incr unsafe_count;
-        if !unsafe_count <= max_deadlocks then unsafe := (t, m) :: !unsafe
-      end;
-      if Marking_table.mem visited m' then Gpo_obs.Counter.incr c_dedup_hits
-      else
-        if Marking_table.length visited >= max_states then truncated := true
-        else begin
-          enqueue m';
-          match predecessor with
-          | Some table -> Marking_table.add table m' (t, m)
-          | None -> ()
-        end
-    in
-    List.iter fire to_fire
-  done;
+  (try
+     while not (Queue.is_empty queue) do
+       Guard.check ?cancel ?guard ();
+       Guard.Fault.probe "reach.step";
+       let m = Queue.pop queue in
+       Gpo_obs.Progress.sample "reach" (fun () ->
+           [
+             ("states", Gpo_obs.I (Marking_table.length visited));
+             ("frontier", Gpo_obs.I (Queue.length queue));
+             ("edges", Gpo_obs.I !edges);
+           ]);
+       let to_fire = strategy net m in
+       if Semantics.is_deadlock net m then begin
+         incr deadlock_count;
+         Gpo_obs.Counter.incr c_deadlocks;
+         if !deadlock_count <= max_deadlocks then deadlocks := m :: !deadlocks
+       end;
+       let fire t =
+         let m', safe = Semantics.fire net t m in
+         incr edges;
+         Gpo_obs.Counter.incr c_edges;
+         if not safe then begin
+           incr unsafe_count;
+           if !unsafe_count <= max_deadlocks then unsafe := (t, m) :: !unsafe
+         end;
+         if Marking_table.mem visited m' then Gpo_obs.Counter.incr c_dedup_hits
+         else
+           if Marking_table.length visited >= max_states then truncated := true
+           else begin
+             enqueue m';
+             match predecessor with
+             | Some table -> Marking_table.add table m' (t, m)
+             | None -> ()
+           end
+       in
+       List.iter fire to_fire
+     done
+   with Guard.Interrupted reason -> interrupt := reason);
   report_load_factor visited;
+  let stop =
+    (* A budget interrupt ended the run; a mere state-budget overflow
+       only stopped it from growing. *)
+    if !interrupt <> Guard.Completed then !interrupt
+    else if !truncated then Guard.State_budget
+    else Guard.Completed
+  in
   {
     net;
     states = Marking_table.length visited;
@@ -110,7 +122,7 @@ let explore_seq ?(strategy = full) ?(max_states = 10_000_000) ?(max_deadlocks = 
     deadlocks = List.rev !deadlocks;
     deadlock_count = !deadlock_count;
     unsafe = List.rev !unsafe;
-    truncated = !truncated;
+    stop;
     predecessor;
     visited;
   }
@@ -144,8 +156,17 @@ type worker_acc = {
   mutable w_unsafe : (Net.transition * Bitset.t) list;
 }
 
+(* How a worker crew stopped early.  One cell shared by every worker:
+   the first budget trip or crash wins, the others drain out at the
+   next loop head instead of spinning on [in_flight] forever (a worker
+   that died would otherwise leave its claimed markings unfinished and
+   wedge the crew). *)
+type crew_stop =
+  | Crew_interrupted of Guard.stop_reason
+  | Crew_exn of exn * Printexc.raw_backtrace
+
 let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
-    (net : Net.t) =
+    ~guard (net : Net.t) =
   let n_workers = Par.Pool.size pool in
   Gpo_obs.Gauge.set_int g_workers n_workers;
   let n_shards =
@@ -166,6 +187,8 @@ let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
   let states = Atomic.make 0 in
   let in_flight = Atomic.make 0 in
   let truncated = Atomic.make false in
+  let stopper : crew_stop option Atomic.t = Atomic.make None in
+  let abort s = ignore (Atomic.compare_and_set stopper None (Some s)) in
   let accs =
     Array.init n_workers (fun _ ->
         {
@@ -260,22 +283,40 @@ let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
       to_fire
   in
   let worker w () =
-    let rec loop () =
-      Par.Cancel.check_opt cancel;
+    (* [step] returns [false] only on clean termination (no work left
+       anywhere).  Any exception — a budget trip, a cancellation, a
+       crash inside [process] — is recorded in [stopper] so the other
+       workers drain out at their next loop head instead of spinning
+       on [in_flight] forever. *)
+    let step () =
+      Guard.check ?cancel ?guard ();
+      Guard.Fault.probe "reach.par.step";
       match Par.Wsq.take_any queues w with
       | Some m ->
           process w m;
           Atomic.decr in_flight;
-          loop ()
+          true
       | None ->
           if Atomic.get in_flight > 0 then begin
             Domain.cpu_relax ();
-            loop ()
+            true
           end
+          else false
+    in
+    let rec loop () =
+      if Atomic.get stopper = None then
+        match step () with
+        | true -> loop ()
+        | false -> ()
+        | exception Guard.Interrupted reason -> abort (Crew_interrupted reason)
+        | exception e -> abort (Crew_exn (e, Printexc.get_raw_backtrace ()))
     in
     loop ()
   in
   Par.Pool.run pool (List.init n_workers worker);
+  (match Atomic.get stopper with
+  | Some (Crew_exn (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | Some (Crew_interrupted _) | None -> ());
   (* Merge the shards into the single tables of the sequential result
      shape, so [trace_to] and the callers see one uniform view. *)
   let total = Atomic.get states in
@@ -315,6 +356,12 @@ let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
            if c <> 0 then c else Bitset.compare m1 m2)
   in
   let unsafe = List.filteri (fun i _ -> i < max_deadlocks) unsafe in
+  let stop =
+    match Atomic.get stopper with
+    | Some (Crew_interrupted reason) -> reason
+    | Some (Crew_exn _) -> assert false
+    | None -> if Atomic.get truncated then Guard.State_budget else Guard.Completed
+  in
   {
     net;
     states = Marking_table.length visited;
@@ -322,37 +369,40 @@ let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
     deadlocks;
     deadlock_count = merge (fun w -> w.w_deadlock_count);
     unsafe;
-    truncated = Atomic.get truncated;
+    stop;
     predecessor;
     visited;
   }
 
 let explore_par ?pool ?jobs ?(strategy = full) ?(max_states = 10_000_000)
-    ?(max_deadlocks = 16) ?(traces = false) ?cancel (net : Net.t) =
+    ?(max_deadlocks = 16) ?(traces = false) ?cancel ?guard (net : Net.t) =
   match pool with
   | Some pool when Par.Pool.size pool > 1 ->
-      explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel net
+      explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
+        ~guard net
   | Some _ ->
-      explore_seq ~strategy ~max_states ~max_deadlocks ~traces ?cancel net
+      explore_seq ~strategy ~max_states ~max_deadlocks ~traces ?cancel ?guard net
   | None -> (
       let jobs = match jobs with Some j -> j | None -> Par.Pool.default_jobs () in
       if jobs <= 1 then
         (* Sequential fallback: one worker needs no shards, no locks. *)
-        explore_seq ~strategy ~max_states ~max_deadlocks ~traces ?cancel net
+        explore_seq ~strategy ~max_states ~max_deadlocks ~traces ?cancel ?guard net
       else
         Par.Pool.with_pool ~jobs (fun pool ->
             explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces
-              ~cancel net))
+              ~cancel ~guard net))
 
-let explore ?strategy ?max_states ?max_deadlocks ?traces ?cancel net =
-  explore_seq ?strategy ?max_states ?max_deadlocks ?traces ?cancel net
+let explore ?strategy ?max_states ?max_deadlocks ?traces ?cancel ?guard net =
+  explore_seq ?strategy ?max_states ?max_deadlocks ?traces ?cancel ?guard net
 
-let trace_to result m =
+let trace_to ?cancel result m =
   match result.predecessor with
   | None -> invalid_arg "Reachability.trace_to: explore was run without ~traces:true"
   | Some table ->
       if not (Marking_table.mem result.visited m) then raise Not_found;
       let rec walk m acc =
+        Par.Cancel.check_opt cancel;
+        Guard.Fault.probe "reach.witness";
         match Marking_table.find_opt table m with
         | None -> acc
         | Some (t, m_pred) -> walk m_pred (t :: acc)
@@ -365,4 +415,6 @@ let pp_summary ppf result =
   Format.fprintf ppf "%s: %d states, %d edges, %d deadlock(s)%s%s" result.net.Net.name
     result.states result.edges result.deadlock_count
     (if result.unsafe = [] then "" else ", UNSAFE")
-    (if result.truncated then " (truncated)" else "")
+    (if truncated result then
+       Printf.sprintf " (stopped: %s)" (Guard.describe_stop result.stop)
+     else "")

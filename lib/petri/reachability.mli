@@ -25,13 +25,19 @@ type result = {
   deadlock_count : int;  (** Total number of deadlocked markings found. *)
   unsafe : (Net.transition * Bitset.t) list;
       (** Firings that violated 1-safeness, up to [max_deadlocks] of them. *)
-  truncated : bool;  (** [true] iff the [max_states] budget was hit. *)
+  stop : Guard.stop_reason;
+      (** Why the exploration ended: [Completed] iff the whole
+          (strategy-reduced) state space was covered. *)
   predecessor : (Net.transition * Bitset.t) Marking_table.t option;
       (** When traces were requested: for each non-initial visited
           marking, the transition and marking it was first reached
           from. *)
   visited : unit Marking_table.t;  (** The set of visited markings. *)
 }
+
+val truncated : result -> bool
+(** [true] iff the exploration did not cover its whole state space
+    ([stop <> Completed]). *)
 
 val full : strategy
 (** Fire every enabled transition: conventional exhaustive analysis. *)
@@ -42,16 +48,19 @@ val explore :
   ?max_deadlocks:int ->
   ?traces:bool ->
   ?cancel:Par.Cancel.t ->
+  ?guard:Guard.t ->
   Net.t ->
   result
 (** [explore net] runs a breadth-first exploration from the initial
     marking.  [strategy] defaults to {!full}; [max_states] (default
-    [10_000_000]) bounds the number of visited states, setting
-    [truncated] when exceeded; [max_deadlocks] (default [16]) bounds the
-    retained deadlock witnesses; [traces] (default [false]) records
+    [10_000_000]) bounds the number of visited states, recording
+    [State_budget] when exceeded; [max_deadlocks] (default [16]) bounds
+    the retained deadlock witnesses; [traces] (default [false]) records
     predecessors for counterexample extraction.  [cancel] is polled
     once per expanded marking; a set token unwinds with
-    [Par.Cancel.Cancelled]. *)
+    [Par.Cancel.Cancelled].  [guard] is polled at the same points; a
+    tripped deadline or memory budget ends the run early with the
+    partial counts and [stop] carrying the reason. *)
 
 val explore_par :
   ?pool:Par.Pool.t ->
@@ -61,6 +70,7 @@ val explore_par :
   ?max_deadlocks:int ->
   ?traces:bool ->
   ?cancel:Par.Cancel.t ->
+  ?guard:Guard.t ->
   Net.t ->
   result
 (** Domain-parallel {!explore}: the visited set is sharded by marking
@@ -77,15 +87,17 @@ val explore_par :
     may differ from the sequential one, but any reconstructed witness
     still certifies. *)
 
-val trace_to : result -> Bitset.t -> Net.transition list
+val trace_to : ?cancel:Par.Cancel.t -> result -> Bitset.t -> Net.transition list
 (** [trace_to result m] reconstructs a firing sequence from the initial
     marking to [m].  Requires [explore ~traces:true]; raises
     [Invalid_argument] otherwise and [Not_found] if [m] was not
-    visited. *)
+    visited.  [cancel] is polled at every walk-back step so a race
+    loser cannot linger in witness reconstruction; a set token unwinds
+    with [Par.Cancel.Cancelled] before any partial trace escapes. *)
 
 val deadlock_free : result -> bool
 (** [true] iff no deadlocked marking was visited (meaningful only when
-    [truncated = false]). *)
+    [stop = Completed]). *)
 
 val pp_summary : Format.formatter -> result -> unit
-(** One-line summary: states, edges, deadlocks, truncation. *)
+(** One-line summary: states, edges, deadlocks, stop reason. *)

@@ -55,7 +55,10 @@ let project_monitor_witness (net : Net.t) trace =
 
 let covering_marking ?(max_states = 1_000_000) net property =
   let result = Reachability.explore ~max_states ~traces:true net in
-  if result.truncated then failwith "Safety: exploration truncated";
+  if Reachability.truncated result then
+    failwith
+      (Printf.sprintf "Safety: exploration stopped (%s)"
+         (Guard.describe_stop result.stop));
   let found = ref None in
   Reachability.Marking_table.iter
     (fun m () -> if !found = None && covers property m then found := Some m)

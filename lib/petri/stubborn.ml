@@ -85,10 +85,10 @@ let compute conflict heuristic m =
 let strategy ?(heuristic = Smallest) conflict : Reachability.strategy =
  fun _net m -> compute conflict heuristic m
 
-let explore ?heuristic ?max_states ?max_deadlocks ?traces ?cancel net =
+let explore ?heuristic ?max_states ?max_deadlocks ?traces ?cancel ?guard net =
   let conflict = Conflict.analyse net in
   Reachability.explore ~strategy:(strategy ?heuristic conflict) ?max_states
-    ?max_deadlocks ?traces ?cancel net
+    ?max_deadlocks ?traces ?cancel ?guard net
 
 (* The stubborn strategy is a pure function of the marking (the
    conflict relation is immutable after [Conflict.analyse], and
@@ -96,8 +96,8 @@ let explore ?heuristic ?max_states ?max_deadlocks ?traces ?cancel net =
    the parallel explorer visits exactly the sequential reduced state
    space. *)
 let explore_par ?pool ?jobs ?heuristic ?max_states ?max_deadlocks ?traces
-    ?cancel net =
+    ?cancel ?guard net =
   let conflict = Conflict.analyse net in
   Reachability.explore_par ?pool ?jobs
     ~strategy:(strategy ?heuristic conflict)
-    ?max_states ?max_deadlocks ?traces ?cancel net
+    ?max_states ?max_deadlocks ?traces ?cancel ?guard net

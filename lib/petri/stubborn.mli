@@ -36,6 +36,7 @@ val explore :
   ?max_deadlocks:int ->
   ?traces:bool ->
   ?cancel:Par.Cancel.t ->
+  ?guard:Guard.t ->
   Net.t ->
   Reachability.result
 (** Convenience wrapper: {!Reachability.explore} with {!strategy}. *)
@@ -48,6 +49,7 @@ val explore_par :
   ?max_deadlocks:int ->
   ?traces:bool ->
   ?cancel:Par.Cancel.t ->
+  ?guard:Guard.t ->
   Net.t ->
   Reachability.result
 (** {!Reachability.explore_par} with {!strategy}.  The stubborn set

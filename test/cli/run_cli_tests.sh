@@ -143,6 +143,50 @@ expect 1 "trace replays the witness step by step" -- trace -m nsdp -n 2
 expect_out "deadlock reached by:" "replay header present"
 expect_out "takeL" "replay mentions a fork acquisition"
 
+# --- resource governance: --timeout and --mem-mb ----------------------
+
+# A one-second deadline on a huge instance: inconclusive (exit 2), with
+# the typed reason called out instead of a crash or a hang.
+expect 2 "deadline-bound analyze is inconclusive" -- \
+  analyze -m nsdp -n 12 -e full --timeout 1
+expect_out "deadline" "the deadline is named as the stop reason"
+
+# The typed reason also lands in the telemetry trace.
+metrics="$(mktemp)"
+expect 2 "deadline run with --metrics-out" -- \
+  analyze -m nsdp -n 12 -e full --timeout 1 --metrics-out "$metrics"
+if grep -q '"stop_reason":"deadline"' "$metrics"; then
+  echo "ok:   metrics record stop_reason deadline"
+else
+  echo "FAIL: metrics lack stop_reason deadline"
+  cat "$metrics" | sed 's/^/      /'
+  failures=$((failures + 1))
+fi
+rm -f "$metrics"
+
+# A violation found before the deadline is still a verdict.
+expect 1 "deadlock beats a generous deadline" -- \
+  analyze -m nsdp -n 4 -e gpo --timeout 60
+
+# A soft memory budget degrades to inconclusive instead of crashing.
+expect 2 "memory-bound symbolic run is inconclusive" -- \
+  analyze -m nsdp -n 10 -e smv --mem-mb 64
+expect_out "inconclusive" "memory stop is inconclusive"
+
+# The budgets ride along on trace and certify too.
+expect 2 "deadline-bound trace is inconclusive" -- \
+  trace -m nsdp -n 12 -e full --timeout 1
+expect 2 "deadline-bound certify is inconclusive" -- \
+  certify -m nsdp -n 12 -e full --timeout 1
+
+# --- parser errors are located ----------------------------------------
+
+badnet="$(mktemp).net"
+printf 'net broken\npl p (1\n' > "$badnet"
+expect 2 "malformed net file is a usage error" -- analyze -f "$badnet"
+expect_out "line 2" "parse error carries its location"
+rm -f "$badnet"
+
 echo
 if [ "$failures" -gt 0 ]; then
   echo "$failures CLI check(s) failed"

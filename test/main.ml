@@ -8,6 +8,8 @@ let () =
     [
       ("bitset", Test_bitset.suite);
       ("net", Test_net.suite);
+      ("parser", Test_parser.suite);
+      ("guard", Test_guard.suite);
       ("semantics", Test_semantics.suite);
       ("reachability", Test_reachability.suite);
       ("invariant", Test_invariant.suite);
@@ -27,4 +29,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -102,7 +102,7 @@ let safety_certification () =
       let net = Models.Random_net.generate seed in
     let label = Printf.sprintf "safety-seed-%d" seed in
     let full = Petri.Reachability.explore ~max_states net in
-    if not full.truncated then begin
+    if not (Petri.Reachability.truncated full) then begin
       (* A property the net violates: cover the places of a reachable
          dead marking. *)
       (match full.deadlocks with
@@ -144,7 +144,7 @@ let safety_certification () =
           let property = { Petri.Safety.name = "ok"; never_all = [ p0; p1 ] } in
           let monitored = Petri.Safety.monitor net property in
           let o = E.run ~max_states ~witness:true ~gpo_scan:true E.Gpo monitored in
-          if o.E.truncated then ()
+          if E.truncated o then ()
           else begin
             match C.safety net property o with
             | C.Clean -> ()
@@ -158,8 +158,9 @@ let safety_certification () =
 (* ------------------------------------------------------------------ *)
 (* Conclusion semantics and rejection paths (unit tests)               *)
 
-let outcome ?(deadlock = false) ?(truncated = false) ?witness kind : E.outcome =
-  { kind; states = 0.; metric = 0.; deadlock; time_s = 0.; truncated; witness }
+let outcome ?(deadlock = false) ?(stop = Guard.Completed) ?witness kind : E.outcome
+    =
+  { kind; states = 0.; metric = 0.; deadlock; time_s = 0.; stop; witness }
 
 let conclusion_testable =
   Alcotest.testable
@@ -178,15 +179,15 @@ let conclusion_semantics () =
   (* The regression behind julie exit code 2: a truncated exploration
      that found nothing must NOT be reported as a clean verdict. *)
   check "truncated clean run: inconclusive" `Inconclusive
-    (C.conclusion [ outcome ~truncated:true E.Full ]);
+    (C.conclusion [ outcome ~stop:Guard.State_budget E.Full ]);
   check "one truncated among clean runs: inconclusive" `Inconclusive
-    (C.conclusion [ outcome E.Gpo; outcome ~truncated:true E.Full ]);
+    (C.conclusion [ outcome E.Gpo; outcome ~stop:Guard.State_budget E.Full ]);
   (* A found deadlock is trustworthy even out of a truncated run. *)
   check "truncated run that found a deadlock: violated" `Violated
-    (C.conclusion [ outcome ~deadlock:true ~truncated:true E.Full ]);
+    (C.conclusion [ outcome ~deadlock:true ~stop:Guard.State_budget E.Full ]);
   check "any violation wins over truncation" `Violated
     (C.conclusion
-       [ outcome ~truncated:true E.Full; outcome ~deadlock:true E.Gpo ]);
+       [ outcome ~stop:Guard.State_budget E.Full; outcome ~deadlock:true E.Gpo ]);
   check "no outcomes: holds vacuously" `Holds (C.conclusion [])
 
 let rejection_paths () =
@@ -209,7 +210,7 @@ let rejection_paths () =
         (Petri.Bitset.equal m net.Petri.Net.initial)
   | v -> Alcotest.failf "expected Not_dead, got %a" (C.pp net) v);
   (* Truncated clean outcome vs exhaustive clean outcome. *)
-  (match C.deadlock net (outcome ~truncated:true E.Full) with
+  (match C.deadlock net (outcome ~stop:Guard.State_budget E.Full) with
   | C.Inconclusive -> ()
   | v -> Alcotest.failf "expected Inconclusive, got %a" (C.pp net) v);
   match C.deadlock net (outcome E.Full) with

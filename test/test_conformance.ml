@@ -36,7 +36,7 @@ type verdicts = {
    ground truth there is nothing to compare against. *)
 let run_all net =
   let full = Petri.Reachability.explore ~max_states net in
-  if full.truncated then None
+  if Petri.Reachability.truncated full then None
   else
     Some
       {
@@ -58,14 +58,14 @@ let check ~label net =
             "%s verdict %b disagrees with exhaustive search (%b; %d states)"
             engine verdict truth v.full.states
       in
-      if not v.stub.truncated then
+      if not (Petri.Reachability.truncated v.stub) then
         disagree "stubborn" (v.stub.deadlock_count > 0);
       disagree "symbolic" (v.smv.deadlock <> None);
-      if not v.gpo.truncated then
+      if not (Gpn.Explorer.truncated v.gpo) then
         disagree "gpo (hardened)" (not (Gpn.Explorer.deadlock_free v.gpo));
       (* Paper configuration: sound but not complete — one direction. *)
       if
-        (not v.gpo_paper.truncated)
+        (not (Gpn.Explorer.truncated v.gpo_paper))
         && (not (Gpn.Explorer.deadlock_free v.gpo_paper))
         && not truth
       then
@@ -78,7 +78,10 @@ let check ~label net =
         Failure_dump.failf ~label net
           "symbolic counts %.0f reachable markings, explicit visited %d"
           v.smv.states v.full.states;
-      if (not v.stub.truncated) && v.stub.states > v.full.states then
+      if
+        (not (Petri.Reachability.truncated v.stub))
+        && v.stub.states > v.full.states
+      then
         Failure_dump.failf ~label net
           "stubborn explored %d states, more than the full graph (%d)"
           v.stub.states v.full.states
@@ -138,7 +141,7 @@ let engine_layer_conformance () =
         E.run ~max_states ~witness:true ~gpo_scan:true kind net
       in
       let os = List.map outcome E.all in
-      match List.filter (fun (o : E.outcome) -> not o.truncated) os with
+      match List.filter (fun (o : E.outcome) -> not (E.truncated o)) os with
       | [] -> ()
       | o :: rest ->
           List.iter

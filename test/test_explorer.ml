@@ -108,7 +108,9 @@ let test_fig2_stepwise_linear () =
 
 let test_truncation () =
   let r = Gpn.Explorer.analyse ~max_states:1 (Models.Nsdp.make 4) in
-  Alcotest.(check bool) "truncated" true r.truncated
+  Alcotest.(check bool) "truncated" true (Gpn.Explorer.truncated r);
+  Alcotest.(check bool) "stop reason is the state budget" true
+    (r.stop = Guard.State_budget)
 
 let test_max_deadlocks () =
   let r = Gpn.Explorer.analyse ~max_deadlocks:1 (Models.Figures.fig2 4) in
@@ -119,11 +121,15 @@ let test_max_deadlocks () =
 let test_validate_models () =
   List.iter
     (fun net ->
-      let report = Gpn.Validate.validate net in
-      Alcotest.(check bool)
-        (Format.asprintf "%s validates (%s)" net.Petri.Net.name
-           (Option.value ~default:"" report.detail))
-        true (Gpn.Validate.ok report))
+      match Gpn.Validate.validate net with
+      | Error reason ->
+          Alcotest.failf "%s: validation stopped (%s)" net.Petri.Net.name
+            (Guard.string_of_stop reason)
+      | Ok report ->
+          Alcotest.(check bool)
+            (Format.asprintf "%s validates (%s)" net.Petri.Net.name
+               (Option.value ~default:"" report.detail))
+            true (Gpn.Validate.ok report))
     [
       Models.Nsdp.make 2;
       Models.Nsdp.make 3;
@@ -157,10 +163,15 @@ let test_deviation_restart_example () =
         tr stop  : q -> trap
         tr again : done1 -> q|}
   in
-  let report = Gpn.Validate.validate net in
-  Alcotest.(check bool)
-    (Format.asprintf "reentry validates (%s)" (Option.value ~default:"" report.detail))
-    true (Gpn.Validate.ok report)
+  match Gpn.Validate.validate net with
+  | Error reason ->
+      Alcotest.failf "reentry validation stopped (%s)"
+        (Guard.string_of_stop reason)
+  | Ok report ->
+      Alcotest.(check bool)
+        (Format.asprintf "reentry validates (%s)"
+           (Option.value ~default:"" report.detail))
+        true (Gpn.Validate.ok report)
 
 
 let test_render () =

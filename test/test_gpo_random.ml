@@ -10,11 +10,11 @@ let validate_range ?spec ?reduction ?thorough ~label lo hi =
       for seed = lo to hi do
         let net = Models.Random_net.generate ?spec seed in
         match Gpn.Validate.validate ?reduction ?thorough ~max_states:150_000 net with
-        | report ->
+        | Ok report ->
             if not (Gpn.Validate.ok report) then
               Alcotest.failf "seed %d: %s" seed
                 (Option.value ~default:"unknown discrepancy" report.detail)
-        | exception Failure _ -> () (* state budget exceeded: skip *)
+        | Error _ -> () (* state budget exceeded: skip *)
       done)
 
 let default = None
@@ -61,7 +61,7 @@ let suite =
         for seed = 0 to 399 do
           let net = Models.Random_net.generate seed in
           let full = Petri.Reachability.explore ~max_states:150_000 net in
-          if not full.truncated then begin
+          if not (Petri.Reachability.truncated full) then begin
             let r = Gpn.Explorer.analyse ~thorough:false net in
             if Bool.equal (Gpn.Explorer.deadlock_free r) (full.deadlock_count > 0)
             then Alcotest.failf "seed %d: aggressive verdict mismatch" seed

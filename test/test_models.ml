@@ -6,7 +6,8 @@ module B = Petri.Bitset
 
 let check_safe net =
   let r = Petri.Reachability.explore ~max_states:500_000 net in
-  Alcotest.(check bool) (net.Petri.Net.name ^ " explored fully") false r.truncated;
+  Alcotest.(check bool) (net.Petri.Net.name ^ " explored fully") false
+    (Petri.Reachability.truncated r);
   Alcotest.(check (list string)) (net.Petri.Net.name ^ " 1-safe") []
     (List.map (fun (t, _) -> Petri.Net.transition_name net t) r.unsafe);
   r

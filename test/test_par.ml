@@ -116,7 +116,7 @@ let same_exploration ~label ?strategy net =
   check_int "edges" seq.edges par.edges;
   check_int "deadlock_count" seq.deadlock_count par.deadlock_count;
   check_int "unsafe count" (List.length seq.unsafe) (List.length par.unsafe);
-  if seq.truncated <> par.truncated then
+  if R.truncated seq <> R.truncated par then
     Failure_dump.failf ~label net "truncation flags differ";
   (* Same visited set, not just the same size. *)
   R.Marking_table.iter
@@ -183,8 +183,9 @@ let differential_truncation () =
   let net = Models.Scheduler.make 7 in
   let seq = R.explore ~max_states:100 net in
   let par = R.explore_par ~jobs:par_jobs ~max_states:100 net in
-  Alcotest.(check bool) "sequential truncated" true seq.truncated;
-  Alcotest.(check bool) "parallel truncated" true par.truncated;
+  Alcotest.(check bool) "sequential truncated" true (R.truncated seq);
+  Alcotest.(check bool) "parallel truncated" true (R.truncated par);
+  Alcotest.(check bool) "same stop reason" true (seq.stop = par.stop);
   Alcotest.(check bool)
     "parallel respects the state budget" true (par.states <= 100)
 
@@ -277,7 +278,15 @@ let portfolio_inconclusive_when_truncated () =
     Harness.Portfolio.run ~max_states:50 ~engines:[ E.Full; E.Full ] net
   in
   Alcotest.(check bool) "not conclusive" false r.conclusive;
-  Alcotest.(check bool) "outcome flagged truncated" true r.outcome.E.truncated
+  Alcotest.(check bool) "outcome flagged truncated" true
+    (E.truncated r.outcome);
+  (* Every entrant's stop is reported by kind. *)
+  Alcotest.(check int) "one stop per entrant" 2 (List.length r.stops);
+  List.iter
+    (fun (_, stop) ->
+      Alcotest.(check bool) "entrant stopped by the state budget" true
+        (stop = Guard.State_budget))
+    r.stops
 
 (* A single-entrant portfolio degenerates to that engine's run. *)
 let portfolio_single_entrant () =
@@ -305,7 +314,7 @@ let parallel_seed_driver () =
               ~label:(Printf.sprintf "driver-seed-%d" seed)
               net "exploration not deterministic under concurrent runs";
           let g = Gpn.Explorer.analyse ~max_states:20_000 net in
-          if (not a.truncated) && not g.Gpn.Explorer.truncated then
+          if (not (R.truncated a)) && not (Gpn.Explorer.truncated g) then
             if Gpn.Explorer.deadlock_free g <> (a.deadlock_count = 0) then
               Failure_dump.failf
                 ~label:(Printf.sprintf "driver-seed-%d" seed)

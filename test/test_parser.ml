@@ -1,0 +1,105 @@
+(* Parser hardening: every malformed input in the corpus yields a
+   located [Error] — never an escaping exception — and the location
+   points at the offending line and column. *)
+
+module P = Petri.Parser
+
+(* dune runtest runs the suite from test/'s build directory, where the
+   glob dep materializes the corpus; dune exec runs from the project
+   root. *)
+let corpus_dir =
+  if Sys.file_exists "parse-corpus" then "parse-corpus"
+  else "test/parse-corpus"
+
+let corpus prefix =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > String.length prefix
+         && String.sub f 0 (String.length prefix) = prefix
+         && Filename.check_suffix f ".net")
+  |> List.sort compare
+  |> List.map (Filename.concat corpus_dir)
+
+let bad_corpus_is_rejected () =
+  let files = corpus "bad-" in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 8);
+  List.iter
+    (fun path ->
+      match P.parse_file path with
+      | Ok _ -> Alcotest.failf "%s: malformed input accepted" path
+      | Error e ->
+          (* Located: these corpus errors are all line-level (the
+             builder-at-build case, line 0, is pinned separately). *)
+          if e.P.line < 1 || e.P.col < 1 then
+            Alcotest.failf "%s: error not located (line %d, col %d)" path
+              e.P.line e.P.col;
+          if e.P.message = "" then Alcotest.failf "%s: empty message" path)
+    files
+
+let good_corpus_parses () =
+  let files = corpus "good-" in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 2);
+  List.iter
+    (fun path ->
+      match P.parse_file path with
+      | Ok net ->
+          (* Round trip through the printer. *)
+          let again = P.of_string (P.to_string net) in
+          Alcotest.(check int)
+            (path ^ " places survive round trip")
+            net.Petri.Net.n_places again.Petri.Net.n_places;
+          Alcotest.(check int)
+            (path ^ " transitions survive round trip")
+            net.Petri.Net.n_transitions again.Petri.Net.n_transitions
+      | Error e -> Alcotest.failf "%s: %a" path P.pp_error e)
+    files
+
+let locations_are_exact () =
+  (* The duplicate '->' error points at the second arrow's column. *)
+  (match P.parse "net x\npl a (1)\ntr t : a -> b -> c" with
+  | Error { line = 3; col = 15; _ } -> ()
+  | Error e -> Alcotest.failf "duplicate arrow at %a" P.pp_error e
+  | Ok _ -> Alcotest.fail "duplicate arrow accepted");
+  (* An unexpected character points at itself. *)
+  (match P.parse "pl a (1)\npl b$" with
+  | Error { line = 2; col = 5; _ } -> ()
+  | Error e -> Alcotest.failf "bad character at %a" P.pp_error e
+  | Ok _ -> Alcotest.fail "bad character accepted");
+  (* A structural error from the builder is located at its line. *)
+  match P.parse "pl a (1)\ntr t : a -> a\ntr t : a -> a" with
+  | Error { line = 3; _ } -> ()
+  | Error e -> Alcotest.failf "duplicate transition at %a" P.pp_error e
+  | Ok _ -> Alcotest.fail "duplicate transition accepted"
+
+let of_file_raises_syntax_error () =
+  (* Unreadable file: Syntax_error, not Sys_error. *)
+  (match P.of_file "parse-corpus/no-such-file.net" with
+  | _ -> Alcotest.fail "missing file accepted"
+  | exception P.Syntax_error { line = 0; _ } -> ()
+  | exception P.Syntax_error e ->
+      Alcotest.failf "missing file mis-located: %a" P.pp_error e);
+  match P.of_file (Filename.concat corpus_dir "bad-missing-arrow.net") with
+  | _ -> Alcotest.fail "malformed file accepted"
+  | exception P.Syntax_error { line = 4; _ } -> ()
+  | exception P.Syntax_error e ->
+      Alcotest.failf "missing arrow mis-located: %a" P.pp_error e
+
+let error_printer_registered () =
+  let e = { P.line = 3; col = 7; message = "boom" } in
+  Alcotest.(check string) "pp_error" "line 3, column 7: boom"
+    (Format.asprintf "%a" P.pp_error e);
+  Alcotest.(check bool) "Printexc printer" true
+    (Astring_contains.contains "line 3, column 7: boom"
+       (Printexc.to_string (P.Syntax_error e)))
+
+let suite =
+  [
+    Alcotest.test_case "bad corpus rejected with locations" `Quick
+      bad_corpus_is_rejected;
+    Alcotest.test_case "good corpus parses and round-trips" `Quick
+      good_corpus_parses;
+    Alcotest.test_case "error locations are exact" `Quick locations_are_exact;
+    Alcotest.test_case "of_file raises Syntax_error" `Quick
+      of_file_raises_syntax_error;
+    Alcotest.test_case "error rendering" `Quick error_printer_registered;
+  ]

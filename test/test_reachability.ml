@@ -10,7 +10,7 @@ let test_fig1_full_graph () =
   Alcotest.(check int) "8 states" 8 r.states;
   Alcotest.(check int) "12 edges" 12 r.edges;
   Alcotest.(check int) "one terminal marking" 1 r.deadlock_count;
-  Alcotest.(check bool) "not truncated" false r.truncated
+  Alcotest.(check bool) "not truncated" false (Petri.Reachability.truncated r)
 
 let test_fig2_counts () =
   (* Figure 2: N conflict pairs — full graph 3^N, stubborn 2^(N+1)-1. *)
@@ -41,7 +41,9 @@ let test_deadlock_trace () =
 let test_truncation () =
   let net = Models.Nsdp.make 6 in
   let r = Petri.Reachability.explore ~max_states:100 net in
-  Alcotest.(check bool) "truncated" true r.truncated;
+  Alcotest.(check bool) "truncated" true (Petri.Reachability.truncated r);
+  Alcotest.(check bool) "stop reason is the state budget" true
+    (r.stop = Guard.State_budget);
   Alcotest.(check bool) "states within budget" true (r.states <= 101)
 
 let test_max_deadlocks_cap () =

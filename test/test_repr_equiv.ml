@@ -173,8 +173,8 @@ let check_engines ?reduction_pair ~label net =
          (witness_markings rh.He.deadlocks)
          (witness_markings_t rt.Te.deadlocks))
   then Alcotest.failf "%s: witness markings differ" label;
-  if rh.He.truncated <> rt.Te.truncated then
-    Alcotest.failf "%s: truncation differs" label
+  if rh.He.stop <> rt.Te.stop then
+    Alcotest.failf "%s: stop reasons differ" label
 
 let zoo () =
   List.iter

@@ -14,10 +14,13 @@ let section title =
   Format.printf "@.%s@.%s@.@." title (String.make (String.length title) '=')
 
 (* Every job also writes its numbers as BENCH_<job>.json — the
-   machine-readable record future PRs diff their measurements against. *)
+   machine-readable record future PRs diff their measurements against
+   (julie bench-diff).  Each report carries a "meta" provenance block
+   (cores, os, git sha, run id) so a committed baseline says where its
+   numbers came from. *)
 let write_report job json =
   let path = Printf.sprintf "BENCH_%s.json" job in
-  Harness.Report.write_file path json;
+  Harness.Report.write_file path (Harness.Report.with_meta json);
   Format.printf "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)

@@ -67,37 +67,65 @@ let usage_checked f =
 (* ------------------------------------------------------------------ *)
 (* Observability options (shared by analyze and safety)                *)
 
-type obs_opts = { stats : bool; metrics_out : string option; progress : bool }
+type obs_opts = {
+  stats : bool;
+  metrics_out : string option;
+  trace_out : string option;
+  progress : bool;
+}
 
 let obs_term =
   let stats =
     Arg.(value & flag & info [ "stats" ]
            ~doc:"After each engine run, print the telemetry summary: counters \
                  (states, restarts, cache hits), distributions (worlds per \
-                 state, stubborn-set sizes) and span timings.")
+                 state, stubborn-set sizes, p50/p90/p99) and span timings.")
   in
   let metrics_out =
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
            ~doc:"Stream the telemetry event trace (spans, progress samples, \
                  final totals) to $(docv) as JSON Lines, one event per line.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the run's timeline to $(docv) as Chrome trace-event \
+                 JSON: open it in Perfetto (ui.perfetto.dev) or \
+                 chrome://tracing to see spans on one track per domain, \
+                 counter tracks, lock-wait spans and guard/fault/cancel \
+                 markers.")
+  in
   let progress =
     Arg.(value & flag & info [ "progress" ]
            ~doc:"Force the stderr progress heartbeat (default: enabled by \
                  $(b,--stats) when stderr is a terminal).")
   in
-  Term.(const (fun stats metrics_out progress -> { stats; metrics_out; progress })
-        $ stats $ metrics_out $ progress)
+  Term.(const (fun stats metrics_out trace_out progress ->
+            { stats; metrics_out; trace_out; progress })
+        $ stats $ metrics_out $ trace_out $ progress)
 
 (* Install the sink/heartbeat described by the options around [f].
    [--stats] alone still installs the (null) sink: spans and
-   distributions only record while a sink is enabled. *)
+   distributions only record while a sink is enabled.  With both
+   --metrics-out and --trace-out the event stream is teed; the trace
+   file is rendered once the run is over and the sink uninstalled. *)
 let with_obs opts f =
   let oc = Option.map open_out opts.metrics_out in
-  let want_sink = opts.stats || opts.progress || oc <> None in
-  (match oc with
-  | Some oc -> Gpo_obs.install (Gpo_obs.jsonl_channel_sink oc)
-  | None -> if want_sink then Gpo_obs.install Gpo_obs.null_sink);
+  let trace =
+    Option.map
+      (fun path ->
+        let sink, read = Gpo_obs.Trace.collecting_sink () in
+        (path, sink, read))
+      opts.trace_out
+  in
+  let want_sink = opts.stats || opts.progress || oc <> None || trace <> None in
+  let sinks =
+    Option.to_list (Option.map Gpo_obs.jsonl_channel_sink oc)
+    @ Option.to_list (Option.map (fun (_, s, _) -> s) trace)
+  in
+  (match sinks with
+  | [] -> if want_sink then Gpo_obs.install Gpo_obs.null_sink
+  | [ s ] -> Gpo_obs.install s
+  | s :: rest -> Gpo_obs.install (List.fold_left Gpo_obs.tee_sink s rest));
   if opts.progress || (opts.stats && Unix.isatty Unix.stderr) then
     Gpo_obs.Progress.set_heartbeat
       (Some (fun line -> Format.eprintf "[progress] %s@." line));
@@ -105,7 +133,12 @@ let with_obs opts f =
     ~finally:(fun () ->
       Gpo_obs.Progress.set_heartbeat None;
       if want_sink then Gpo_obs.uninstall ();
-      Option.iter close_out oc)
+      Option.iter close_out oc;
+      Option.iter
+        (fun (path, _, read) ->
+          Gpo_obs.Trace.write_file path (read ());
+          Format.eprintf "wrote %s@." path)
+        trace)
     f
 
 (* One instrumented engine run: telemetry is reset so the summary and
@@ -605,6 +638,46 @@ let certify_cmd =
           $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* bench-diff                                                          *)
+
+let bench_diff base fresh threshold =
+  usage_checked @@ fun () ->
+  match Bench_compare.Compare.compare_files ~threshold ~base ~fresh () with
+  | Error msg ->
+      Format.eprintf "julie: %s@." msg;
+      exit_usage
+  | Ok outcome ->
+      Format.printf "@[<v>%a@]@?" Bench_compare.Compare.pp_outcome outcome;
+      if Bench_compare.Compare.ok outcome then exit_holds else exit_violated
+
+let bench_diff_cmd =
+  let base =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE"
+           ~doc:"Committed baseline report (a BENCH_*.json).")
+  in
+  let fresh =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FRESH"
+           ~doc:"Freshly produced report to check against the baseline.")
+  in
+  let threshold =
+    Arg.(value & opt float Bench_compare.Compare.default_threshold
+         & info [ "threshold" ] ~docv:"FRACTION"
+             ~doc:"Noise slack as a fraction: a time-like metric regresses \
+                   only beyond base*(1+$(docv)) (and a small absolute \
+                   floor); speedup mirrors the test; overhead_pct is \
+                   judged on absolute growth of 10*$(docv) points.")
+  in
+  let info =
+    Cmd.info "bench-diff" ~exits:verdict_exits
+      ~doc:"Diff two bench reports (fresh vs committed baseline).  Rows are \
+            matched by their identity fields (net, jobs, …); known metric \
+            fields are compared under per-metric noise thresholds.  Exits 0 \
+            when no metric regressed beyond threshold, 1 on regression, 2 on \
+            unreadable or malformed reports — the CI regression gate."
+  in
+  Cmd.v info Term.(const bench_diff $ base $ fresh $ threshold)
+
+(* ------------------------------------------------------------------ *)
 (* siphons                                                             *)
 
 let siphons file builtin size =
@@ -670,7 +743,7 @@ let main =
   Cmd.group info
     [
       analyze_cmd; trace_cmd; certify_cmd; safety_cmd; siphons_cmd; table1_cmd;
-      fig_cmd; dot_cmd; info_cmd;
+      fig_cmd; dot_cmd; info_cmd; bench_diff_cmd;
     ]
 
 let () =

@@ -31,12 +31,12 @@
    state); only a second simultaneous GPO analysis would queue, and the
    lock is uncontended in single-engine runs.  Cooperative cancellation
    ([?cancel]) unwinds through [Fun.protect], so a cancelled analysis
-   always releases the lock. *)
-let gpn_lock = Mutex.create ()
+   always releases the lock.  The probed lock records wait times under
+   obs.lock.wait.gpn.core, so a --trace-out run shows how long a
+   queued analysis sat behind the serialisation point. *)
+let gpn_lock = Gpo_obs.Lock.make "gpn.core"
 
-let with_gpn_lock f =
-  Mutex.lock gpn_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock gpn_lock) f
+let with_gpn_lock f = Gpo_obs.Lock.with_lock gpn_lock f
 
 module Make (W : World_set_intf.S) = struct
   module Bitset = Petri.Bitset

@@ -95,9 +95,23 @@ let branch0 prefix bit l r =
 
 let cache_bound = 1 lsl 17
 
+(* The memo tables are shared mutable state.  Today the engine
+   serialises whole analyses behind the Gpn.Core lock, but the cache
+   probe and store sections take a probed lock of their own
+   (obs.lock.wait.worldset.memo): it keeps the tables safe under any
+   future intra-analysis parallelism and measures how much of the hot
+   path would serialise there.  The lock guards only the table access —
+   never the recursive set algebra, which re-enters these helpers and
+   would self-deadlock on a held mutex. *)
+let memo_lock = Gpo_obs.Lock.make "worldset.memo"
+
+let cache_find tbl key =
+  Gpo_obs.Lock.with_lock memo_lock (fun () -> Hashtbl.find_opt tbl key)
+
 let cache_store tbl key v =
-  if Hashtbl.length tbl >= cache_bound then Hashtbl.reset tbl;
-  Hashtbl.add tbl key v
+  Gpo_obs.Lock.with_lock memo_lock (fun () ->
+      if Hashtbl.length tbl >= cache_bound then Hashtbl.reset tbl;
+      Hashtbl.add tbl key v)
 
 (* Node ids fit in 31 bits for any realistic run (2^31 allocations);
    two of them pack into one 62-bit key, eliminating tuple allocation
@@ -210,7 +224,7 @@ let rec union s t =
            structural cases above stay probe-free. *)
         Guard.Fault.probe "worldset.op";
         let key = pack_comm sb.uid tb.uid in
-        match Hashtbl.find_opt union_cache key with
+        match cache_find union_cache key with
         | Some r ->
             Gpo_obs.Counter.incr c_union_hit;
             r
@@ -258,7 +272,7 @@ let rec inter s t =
     | s, (Leaf { key; _ } as lf) -> if mem_key key s then lf else Empty
     | Branch sb, Branch tb -> begin
         let key = pack_comm sb.uid tb.uid in
-        match Hashtbl.find_opt inter_cache key with
+        match cache_find inter_cache key with
         | Some r ->
             Gpo_obs.Counter.incr c_inter_hit;
             r
@@ -293,7 +307,7 @@ let rec diff s t =
     | s, Leaf { key; _ } -> remove_key key s
     | Branch sb, Branch tb -> begin
         let key = pack sb.uid tb.uid in
-        match Hashtbl.find_opt diff_cache key with
+        match cache_find diff_cache key with
         | Some r ->
             Gpo_obs.Counter.incr c_diff_hit;
             r
@@ -344,7 +358,7 @@ let filter_member tr s =
     | Leaf { w; _ } -> if B.mem tr w then s else Empty
     | Branch b -> begin
         let key = pack tr b.uid in
-        match Hashtbl.find_opt filter_cache key with
+        match cache_find filter_cache key with
         | Some r ->
             Gpo_obs.Counter.incr c_filter_hit;
             r

@@ -49,11 +49,14 @@ type t = {
 }
 
 let trip g reason =
-  if Atomic.compare_and_set g.tripped None (Some reason) then
-    match reason with
+  if Atomic.compare_and_set g.tripped None (Some reason) then begin
+    (match reason with
     | Deadline -> Gpo_obs.Counter.incr c_deadline_trips
     | Memory -> Gpo_obs.Counter.incr c_mem_trips
-    | _ -> ()
+    | _ -> ());
+    Gpo_obs.instant "guard.trip"
+      [ ("reason", Gpo_obs.S (string_of_stop reason)) ]
+  end
 
 let heap_words () = (Gc.quick_stat ()).Gc.heap_words
 
@@ -90,7 +93,11 @@ let create ?deadline_s ?mem_mb ?(poll_mask = 63) () =
   g
 
 let recheck g =
-  if g.deadline < infinity && Unix.gettimeofday () > g.deadline then
+  (* Inclusive comparison: a deadline of now (deadline_s = 0.0) is
+     already expired even when the clock has not ticked past it — the
+     strict form made zero-budget runs racy against the microsecond
+     clock resolution. *)
+  if g.deadline < infinity && Unix.gettimeofday () >= g.deadline then
     trip g Deadline;
   if g.mem_words < max_int && heap_words () >= g.mem_words then trip g Memory
 
@@ -216,10 +223,15 @@ module Fault = struct
     h := !h lxor (!h lsr 31);
     !h land max_int
 
-  let inject cfg h =
+  let kind_label = function Oom -> "oom" | Delay -> "delay" | Cancel -> "cancel"
+
+  let inject cfg site h =
     Atomic.incr injected_total;
     Gpo_obs.Counter.incr c_injected;
-    match cfg.kinds.(h lsr 24 mod Array.length cfg.kinds) with
+    let kind = cfg.kinds.(h lsr 24 mod Array.length cfg.kinds) in
+    Gpo_obs.instant "fault.injected"
+      [ ("site", Gpo_obs.S site); ("kind", Gpo_obs.S (kind_label kind)) ];
+    match kind with
     | Oom -> raise Out_of_memory
     | Delay -> Unix.sleepf 2e-4
     | Cancel -> raise Par.Cancel.Cancelled
@@ -235,7 +247,7 @@ module Fault = struct
             float_of_int (h land 0xFFFFFF) /. 16777216.0 < cfg.rate
             && (cfg.max_injections < 0
                || Atomic.get injected_total < cfg.max_injections)
-          then inject cfg h
+          then inject cfg site h
         end
 
   let with_faults ?rate ?kinds ?sites ?max_injections seed f =

@@ -75,6 +75,53 @@ let json_of_fig2 series =
              series) );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+
+let read_process_line cmd =
+  (* Best-effort: provenance must never fail a bench run. *)
+  match Unix.open_process_in cmd with
+  | exception _ -> None
+  | ic -> (
+      let line = try Some (String.trim (input_line ic)) with _ -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some l when l <> "" -> Some l
+      | _ -> None
+      | exception _ -> None)
+
+let git_sha () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+      match read_process_line "git rev-parse HEAD 2>/dev/null" with
+      | Some sha -> sha
+      | None -> "unknown")
+
+let host_meta () =
+  let os =
+    match read_process_line "uname -srm 2>/dev/null" with
+    | Some s -> s
+    | None -> Sys.os_type
+  in
+  let run_id =
+    Printf.sprintf "%08x-%04x"
+      (Int64.to_int (Int64.rem (Int64.of_float (Unix.gettimeofday () *. 1e3))
+                       0x100000000L))
+      (Unix.getpid () land 0xFFFF)
+  in
+  J.Obj
+    [
+      ("cores", J.Int (Domain.recommended_domain_count ()));
+      ("os", J.String os);
+      ("git_sha", J.String (git_sha ()));
+      ("run_id", J.String run_id);
+    ]
+
+let with_meta json =
+  match json with
+  | J.Obj fields -> J.Obj (("meta", host_meta ()) :: fields)
+  | other -> J.Obj [ ("meta", host_meta ()); ("data", other) ]
+
 let write_file path json =
   let oc = open_out path in
   Fun.protect

@@ -25,5 +25,19 @@ val json_of_fig1 : (string * int) list -> Gpo_obs.Json.t
 val json_of_fig2 : (int * float * float * float) list -> Gpo_obs.Json.t
 (** [{"figure":"fig2","series":[{"n":…,"full":…,"po":…,"gpo":…}]}]. *)
 
+val host_meta : unit -> Gpo_obs.Json.t
+(** Provenance for a bench run:
+    [{"cores":…,"os":…,"git_sha":…,"run_id":…}].  [cores] is
+    {!Domain.recommended_domain_count}, [os] comes from [uname -srm]
+    (falling back to {!Sys.os_type}), [git_sha] prefers the
+    [GITHUB_SHA] environment variable over [git rev-parse HEAD], and
+    [run_id] is a time+pid tag unique per invocation.  Best-effort:
+    never raises. *)
+
+val with_meta : Gpo_obs.Json.t -> Gpo_obs.Json.t
+(** Prepend a ["meta"] field holding {!host_meta} to an object (other
+    values are wrapped as [{"meta":…,"data":…}]), so every
+    [BENCH_*.json] records where its numbers came from. *)
+
 val write_file : string -> Gpo_obs.Json.t -> unit
 (** Write one JSON value (newline-terminated) to [path]. *)

@@ -258,7 +258,7 @@ let json_of_value = function
   | S s -> Json.String s
   | B b -> Json.Bool b
 
-type kind = Counter_v | Gauge_v | Dist_v | Span_v | Sample_v | Meta_v
+type kind = Counter_v | Gauge_v | Dist_v | Span_v | Sample_v | Meta_v | Instant_v
 
 let kind_label = function
   | Counter_v -> "counter"
@@ -267,6 +267,7 @@ let kind_label = function
   | Span_v -> "span"
   | Sample_v -> "sample"
   | Meta_v -> "meta"
+  | Instant_v -> "instant"
 
 let kind_of_label = function
   | "counter" -> Some Counter_v
@@ -275,11 +276,13 @@ let kind_of_label = function
   | "span" -> Some Span_v
   | "sample" -> Some Sample_v
   | "meta" -> Some Meta_v
+  | "instant" -> Some Instant_v
   | _ -> None
 
 type event = {
   time : float;
   kind : kind;
+  dom : int;
   name : string;
   fields : (string * value) list;
 }
@@ -289,6 +292,7 @@ let json_of_event e =
     [
       ("t", Json.Float e.time);
       ("ev", Json.String (kind_label e.kind));
+      ("dom", Json.Int e.dom);
       ("name", Json.String e.name);
       ("fields", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) e.fields));
     ]
@@ -322,6 +326,13 @@ let event_of_json j =
     | Json.String s -> Ok s
     | _ -> Error "\"name\" is not a string"
   in
+  (* [dom] is optional: traces from before domain tagging default to 0. *)
+  let* dom =
+    match Json.member "dom" j with
+    | None -> Ok 0
+    | Some (Json.Int d) -> Ok d
+    | Some _ -> Error "\"dom\" is not an integer"
+  in
   let* fields_j = field "fields" in
   let* fields =
     match fields_j with
@@ -339,11 +350,23 @@ let event_of_json j =
         convert [] kvs
     | _ -> Error "\"fields\" is not an object"
   in
-  Ok { time; kind; name; fields }
+  Ok { time; kind; dom; name; fields }
 
 type sink = { emit : event -> unit; flush : unit -> unit }
 
 let null_sink = { emit = ignore; flush = ignore }
+
+let tee_sink a b =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
 
 let jsonl_sink write =
   {
@@ -399,12 +422,21 @@ let emit kind name fields =
   match !current_sink with
   | None -> ()
   | Some sink -> (
-      let e = { time = Unix.gettimeofday () -. !epoch; kind; name; fields } in
+      let e =
+        {
+          time = Unix.gettimeofday () -. !epoch;
+          kind;
+          dom = (Domain.self () :> int);
+          name;
+          fields;
+        }
+      in
       match Domain.DLS.get scoped_buffer with
       | Some buf -> buf := e :: !buf
       | None -> with_lock sink_mutex (fun () -> sink.emit e))
 
 let meta name fields = emit Meta_v name fields
+let instant name fields = emit Instant_v name fields
 
 module Scoped = struct
   let capture f =
@@ -427,20 +459,56 @@ end
 (* Registry                                                            *)
 
 (* Counters and gauges are single atomic cells (engines hammer them
-   from worker domains); distributions update four fields together, so
-   they carry their own small mutex.  [touched] flags are plain atomic
-   stores — the extra write is skipped once set to keep the cache line
-   quiet on hot counters. *)
+   from worker domains); distributions are log-bucketed histograms made
+   entirely of atomic cells, so concurrent domains merge their
+   observations lock-free into the shared buckets.  [touched] flags are
+   plain atomic stores — the extra write is skipped once set to keep
+   the cache line quiet on hot counters. *)
 type counter_cell = { c_name : string; c_value : int Atomic.t; c_touched : bool Atomic.t }
 type gauge_cell = { g_name : string; g_value : float Atomic.t; g_touched : bool Atomic.t }
 
+(* HDR-style histogram geometry: each power-of-two octave is split into
+   [hist_sub] linear sub-buckets, giving a worst-case relative
+   quantile error of 1/(2*hist_sub) ≈ 6%.  Bucket 0 collects
+   non-positive values and underflow (below 2^hist_min_exp ≈ 1ns when
+   observing seconds); the last bucket collects overflow. *)
+let hist_sub = 8
+let hist_min_exp = -30
+let hist_max_exp = 34
+let hist_buckets = ((hist_max_exp - hist_min_exp) * hist_sub) + 2
+
+let hist_index v =
+  if not (v > 0.) then 0
+  else begin
+    let m, e = Float.frexp v in
+    if e <= hist_min_exp then 0
+    else if e > hist_max_exp then hist_buckets - 1
+    else begin
+      let sub = int_of_float ((m -. 0.5) *. 2.0 *. float_of_int hist_sub) in
+      let sub = if sub >= hist_sub then hist_sub - 1 else sub in
+      1 + ((e - hist_min_exp - 1) * hist_sub) + sub
+    end
+  end
+
+(* Representative value (sub-bucket midpoint) of a bucket index. *)
+let hist_value i =
+  if i <= 0 then 0.
+  else if i >= hist_buckets - 1 then Float.ldexp 1.0 hist_max_exp
+  else begin
+    let i = i - 1 in
+    let e = hist_min_exp + 1 + (i / hist_sub) and sub = i mod hist_sub in
+    Float.ldexp
+      (0.5 +. ((float_of_int sub +. 0.5) /. (2.0 *. float_of_int hist_sub)))
+      e
+  end
+
 type dist_cell = {
   d_name : string;
-  d_lock : Mutex.t;
-  mutable d_count : int;
-  mutable d_sum : float;
-  mutable d_min : float;
-  mutable d_max : float;
+  d_count : int Atomic.t;
+  d_sum : float Atomic.t;
+  d_min : float Atomic.t;
+  d_max : float Atomic.t;
+  d_buckets : int Atomic.t array;
 }
 
 type span_cell = { mutable sp_count : int; mutable sp_total : float }
@@ -511,75 +579,168 @@ module Dist = struct
             let d =
               {
                 d_name = name;
-                d_lock = Mutex.create ();
-                d_count = 0;
-                d_sum = 0.0;
-                d_min = infinity;
-                d_max = neg_infinity;
+                d_count = Atomic.make 0;
+                d_sum = Atomic.make 0.0;
+                d_min = Atomic.make infinity;
+                d_max = Atomic.make neg_infinity;
+                d_buckets = Array.init hist_buckets (fun _ -> Atomic.make 0);
               }
             in
             Hashtbl.add dists name d;
             d)
 
+  (* CAS loops: [Atomic.compare_and_set] on boxed floats compares the
+     box we just read, so a lost race simply retries with the fresh
+     value — no lock anywhere on the observe path. *)
+  let rec add_float cell v =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. v)) then add_float cell v
+
+  let rec update_min cell v =
+    let cur = Atomic.get cell in
+    if v < cur && not (Atomic.compare_and_set cell cur v) then update_min cell v
+
+  let rec update_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then update_max cell v
+
   let observe d v =
-    Mutex.lock d.d_lock;
-    d.d_count <- d.d_count + 1;
-    d.d_sum <- d.d_sum +. v;
-    if v < d.d_min then d.d_min <- v;
-    if v > d.d_max then d.d_max <- v;
-    Mutex.unlock d.d_lock
+    Atomic.incr d.d_count;
+    add_float d.d_sum v;
+    update_min d.d_min v;
+    update_max d.d_max v;
+    Atomic.incr d.d_buckets.(hist_index v)
 
   let observe_int d v = observe d (float_of_int v)
-  let count d = d.d_count
-  let mean d = if d.d_count = 0 then Float.nan else d.d_sum /. float_of_int d.d_count
+  let count d = Atomic.get d.d_count
+
+  let mean d =
+    let n = Atomic.get d.d_count in
+    if n = 0 then Float.nan else Atomic.get d.d_sum /. float_of_int n
+
+  (* Quantile estimate from the buckets, clamped to the observed
+     [min,max] so single-valued distributions answer exactly. *)
+  let quantile_of ~count ~min:mn ~max:mx buckets q =
+    if count = 0 then Float.nan
+    else begin
+      let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int count))) in
+      (* The extreme ranks have exact answers on the side: snap to them
+         instead of a bucket midpoint. *)
+      if rank <= 1 then mn
+      else if rank >= count then mx
+      else
+      let rec scan i cum =
+        if i >= Array.length buckets then mx
+        else begin
+          let cum = cum + buckets.(i) in
+          if cum >= rank then Float.min mx (Float.max mn (hist_value i))
+          else scan (i + 1) cum
+        end
+      in
+      scan 0 0
+    end
+
+  let quantile d q =
+    quantile_of ~count:(Atomic.get d.d_count) ~min:(Atomic.get d.d_min)
+      ~max:(Atomic.get d.d_max)
+      (Array.map Atomic.get d.d_buckets)
+      q
+
+  (* Exposed for the bucketing tests. *)
+  let bucket_of_value = hist_index
+  let bucket_mid = hist_value
+  let bucket_count = hist_buckets
 end
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 
 (* The scope stack is domain-local: spans nested on one domain must not
-   see scopes opened on another. *)
-let span_stack : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+   see scopes opened on another.  Each entry carries the unique token of
+   its [Span.enter], so an out-of-order [exit] is detected instead of
+   silently popping somebody else's scope. *)
+let span_stack : (string * int) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let span_path name =
-  match !(Domain.DLS.get span_stack) with
+let span_path_over stack name =
+  match stack with
   | [] -> name
-  | stack -> String.concat "/" (List.rev (name :: stack))
+  | stack -> String.concat "/" (List.rev (name :: List.map fst stack))
+
+let c_span_misnested = Counter.make "obs.span.misnested"
 
 module Span = struct
-  (* Start time; nan = entered while disabled, exit is a no-op.  The
-     scope stack is only touched when enabled, so a span entered while
-     disabled nests transparently. *)
-  type t = float
+  (* A span token: [id = 0] means "entered while disabled", exit is a
+     no-op (the shared [disabled] token keeps that path allocation
+     free).  The scope stack is only touched when enabled, so a span
+     entered while disabled nests transparently. *)
+  type t = { sp_t0 : float; sp_id : int; sp_name : string }
+
+  let disabled = { sp_t0 = Float.nan; sp_id = 0; sp_name = "" }
+  let next_span_id = Atomic.make 1
+  let misnested () = Counter.incr c_span_misnested
 
   let enter name : t =
-    if !current_sink = None then Float.nan
+    if !current_sink = None then disabled
     else begin
-      let path = span_path name in
       let stack = Domain.DLS.get span_stack in
-      stack := name :: !stack;
+      let path = span_path_over !stack name in
+      let id = Atomic.fetch_and_add next_span_id 1 in
+      stack := (name, id) :: !stack;
       emit Span_v path [ ("phase", S "begin") ];
-      Unix.gettimeofday ()
+      { sp_t0 = Unix.gettimeofday (); sp_id = id; sp_name = name }
     end
 
-  let exit (t0 : t) =
-    if not (Float.is_nan t0) then begin
+  let record path dur =
+    with_lock registry_mutex (fun () ->
+        let cell =
+          match Hashtbl.find_opt span_totals path with
+          | Some c -> c
+          | None ->
+              let c = { sp_count = 0; sp_total = 0.0 } in
+              Hashtbl.add span_totals path c;
+              c
+        in
+        cell.sp_count <- cell.sp_count + 1;
+        cell.sp_total <- cell.sp_total +. dur)
+
+  let exit (t : t) =
+    if t.sp_id <> 0 then begin
       let stack = Domain.DLS.get span_stack in
-      let name = match !stack with n :: rest -> stack := rest; n | [] -> "?" in
-      let path = span_path name in
-      let dur = Unix.gettimeofday () -. t0 in
-      with_lock registry_mutex (fun () ->
-          let cell =
-            match Hashtbl.find_opt span_totals path with
-            | Some c -> c
-            | None ->
-                let c = { sp_count = 0; sp_total = 0.0 } in
-                Hashtbl.add span_totals path c;
-                c
-          in
-          cell.sp_count <- cell.sp_count + 1;
-          cell.sp_total <- cell.sp_total +. dur);
-      emit Span_v path [ ("phase", S "end"); ("dur_s", F dur) ]
+      let dur = Unix.gettimeofday () -. t.sp_t0 in
+      let path, clean =
+        match !stack with
+        | (_, id) :: rest when id = t.sp_id ->
+            (* The LIFO case: pop our own entry. *)
+            stack := rest;
+            (span_path_over rest t.sp_name, true)
+        | entries when List.exists (fun (_, id) -> id = t.sp_id) entries ->
+            (* Out of order: scopes entered after us were never exited.
+               Drop them together with our entry — their own exits will
+               find their tokens gone and leave the stack alone — so
+               the scope stack recovers instead of corrupting every
+               later path. *)
+            misnested ();
+            let rec drop = function
+              | (_, id) :: rest when id = t.sp_id -> rest
+              | _ :: rest -> drop rest
+              | [] -> []
+            in
+            let rest = drop entries in
+            stack := rest;
+            (span_path_over rest t.sp_name, false)
+        | _ ->
+            (* Not on this domain's stack: a double exit, an exit after
+               a parent already recovered past us, or an exit on a
+               different domain.  Record under the bare name and leave
+               the stack untouched. *)
+            misnested ();
+            (t.sp_name, false)
+      in
+      record path dur;
+      emit Span_v path
+        (("phase", S "end") :: ("dur_s", F dur)
+        :: (if clean then [] else [ ("misnested", B true) ]))
     end
 
   let time name f =
@@ -591,6 +752,44 @@ module Span = struct
     | exception e ->
         exit t0;
         raise e
+end
+
+(* ------------------------------------------------------------------ *)
+(* Contention-instrumented locks                                       *)
+
+module Lock = struct
+  (* A mutex with a lock-wait probe.  Disabled telemetry costs one
+     branch on top of the plain [Mutex.lock].  Enabled, the uncontended
+     path is a [try_lock] plus a zero observation into the wait
+     distribution — no clock read; only a genuine wait pays two clock
+     reads and shows up as a [lock.wait.<site>] span on this domain's
+     timeline. *)
+  type t = { l_mutex : Mutex.t; l_dist : Dist.t; l_span : string }
+
+  let make site =
+    {
+      l_mutex = Mutex.create ();
+      l_dist = Dist.make ("obs.lock.wait." ^ site);
+      l_span = "lock.wait." ^ site;
+    }
+
+  let acquire l =
+    if !current_sink = None then Mutex.lock l.l_mutex
+    else if Mutex.try_lock l.l_mutex then Dist.observe l.l_dist 0.0
+    else begin
+      let sp = Span.enter l.l_span in
+      let t0 = Unix.gettimeofday () in
+      Mutex.lock l.l_mutex;
+      let wait = Unix.gettimeofday () -. t0 in
+      Span.exit sp;
+      Dist.observe l.l_dist wait
+    end
+
+  let release l = Mutex.unlock l.l_mutex
+
+  let with_lock l f =
+    acquire l;
+    Fun.protect ~finally:(fun () -> release l) f
 end
 
 (* ------------------------------------------------------------------ *)
@@ -659,7 +858,16 @@ end
 (* ------------------------------------------------------------------ *)
 (* Snapshot / reset / summary                                          *)
 
-type dist_stats = { count : int; sum : float; min : float; max : float }
+type dist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
 type span_stats = { count : int; total_s : float }
 
 type snapshot = {
@@ -670,6 +878,25 @@ type snapshot = {
 }
 
 let by_name (a, _) (b, _) = String.compare a b
+
+let dist_stats_of (d : dist_cell) =
+  let count = Atomic.get d.d_count in
+  if count = 0 then None
+  else begin
+    let min = Atomic.get d.d_min and max = Atomic.get d.d_max in
+    let buckets = Array.map Atomic.get d.d_buckets in
+    let q p = Dist.quantile_of ~count ~min ~max buckets p in
+    Some
+      {
+        count;
+        sum = Atomic.get d.d_sum;
+        min;
+        max;
+        p50 = q 0.50;
+        p90 = q 0.90;
+        p99 = q 0.99;
+      }
+  end
 
 let snapshot () =
   with_lock registry_mutex @@ fun () ->
@@ -690,14 +917,7 @@ let snapshot () =
   let dists =
     Hashtbl.fold
       (fun name d acc ->
-        Mutex.lock d.d_lock;
-        let cell =
-          if d.d_count > 0 then
-            Some { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }
-          else None
-        in
-        Mutex.unlock d.d_lock;
-        match cell with Some s -> (name, s) :: acc | None -> acc)
+        match dist_stats_of d with Some s -> (name, s) :: acc | None -> acc)
       dists []
     |> List.sort by_name
   in
@@ -725,12 +945,11 @@ let reset () =
     gauges;
   Hashtbl.iter
     (fun _ d ->
-      Mutex.lock d.d_lock;
-      d.d_count <- 0;
-      d.d_sum <- 0.0;
-      d.d_min <- infinity;
-      d.d_max <- neg_infinity;
-      Mutex.unlock d.d_lock)
+      Atomic.set d.d_count 0;
+      Atomic.set d.d_sum 0.0;
+      Atomic.set d.d_min infinity;
+      Atomic.set d.d_max neg_infinity;
+      Array.iter (fun b -> Atomic.set b 0) d.d_buckets)
     dists;
   Hashtbl.reset span_totals;
   Hashtbl.reset Progress.last;
@@ -748,12 +967,14 @@ let pp_summary ppf snap =
     List.iter (fun (n, v) -> fprintf ppf "  %-36s %12.4g@ " n v) snap.gauges
   end;
   if snap.dists <> [] then begin
-    fprintf ppf "distributions:%31s%9s%9s%9s@ " "count" "min" "mean" "max";
+    fprintf ppf "distributions:%31s%9s%9s%9s%9s%9s%9s@ " "count" "min" "mean"
+      "p50" "p90" "p99" "max";
     List.iter
       (fun (n, (d : dist_stats)) ->
-        fprintf ppf "  %-36s %7d %8.4g %8.4g %8.4g@ " n d.count d.min
+        fprintf ppf "  %-36s %7d %8.4g %8.4g %8.4g %8.4g %8.4g %8.4g@ " n
+          d.count d.min
           (d.sum /. float_of_int d.count)
-          d.max)
+          d.p50 d.p90 d.p99 d.max)
       snap.dists
   end;
   if snap.spans <> [] then begin
@@ -782,6 +1003,9 @@ let json_of_snapshot snap =
                      ("sum", Json.Float d.sum);
                      ("min", Json.Float d.min);
                      ("max", Json.Float d.max);
+                     ("p50", Json.Float d.p50);
+                     ("p90", Json.Float d.p90);
+                     ("p99", Json.Float d.p99);
                    ] ))
              snap.dists) );
       ( "spans",
@@ -808,6 +1032,9 @@ let emit_snapshot () =
             ("min", F d.min);
             ("max", F d.max);
             ("mean", F (d.sum /. float_of_int d.count));
+            ("p50", F d.p50);
+            ("p90", F d.p90);
+            ("p99", F d.p99);
           ])
       snap.dists;
     List.iter
@@ -828,3 +1055,149 @@ let with_sink sink f =
       emit_snapshot ();
       uninstall ();
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+
+module Trace = struct
+  (* Renders an event stream as Chrome trace-event JSON (the format
+     Perfetto and chrome://tracing load): one thread track per domain
+     id, duration events for spans, counter tracks for progress samples
+     and final totals, instant events for guard trips / faults /
+     cancellations.  Timestamps are microseconds since sink install.
+
+     The renderer is defensive about span pairing: an "end" with no
+     open "begin" on its domain is dropped, and begins left open at the
+     end of the stream are closed at the last timestamp — so a trace
+     assembled from a crashed or misnested run still loads. *)
+
+  let pid = 1
+
+  let base name ph ts dom =
+    [
+      ("name", Json.String name);
+      ("ph", Json.String ph);
+      ("ts", Json.Float ts);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int dom);
+    ]
+
+  let numeric_args fields =
+    List.filter_map
+      (fun (k, v) ->
+        match v with
+        | I _ | F _ -> Some (k, json_of_value v)
+        | S _ | B _ -> None)
+      fields
+
+  let all_args fields = List.map (fun (k, v) -> (k, json_of_value v)) fields
+
+  let json_of_events events =
+    let out = ref [] in
+    let push fields = out := Json.Obj fields :: !out in
+    (* Per-domain stack of open span names, for B/E balancing. *)
+    let open_spans : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    let stack_of dom =
+      match Hashtbl.find_opt open_spans dom with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.add open_spans dom s;
+          s
+    in
+    let doms = Hashtbl.create 8 in
+    let last_ts = ref 0.0 in
+    List.iter
+      (fun e ->
+        let ts = e.time *. 1e6 in
+        if ts > !last_ts then last_ts := ts;
+        Hashtbl.replace doms e.dom ();
+        match e.kind with
+        | Span_v -> (
+            match List.assoc_opt "phase" e.fields with
+            | Some (S "begin") ->
+                let st = stack_of e.dom in
+                st := e.name :: !st;
+                push (base e.name "B" ts e.dom @ [ ("cat", Json.String "span") ])
+            | Some (S "end") -> (
+                let st = stack_of e.dom in
+                match !st with
+                | _ :: rest ->
+                    st := rest;
+                    push (base e.name "E" ts e.dom)
+                | [] -> (* stray end: drop rather than unbalance *) ())
+            | _ -> (* final span totals carry no timeline position *) ())
+        | Sample_v -> (
+            match numeric_args e.fields with
+            | [] -> ()
+            | args ->
+                push
+                  (base e.name "C" ts e.dom @ [ ("args", Json.Obj args) ]))
+        | Counter_v | Gauge_v ->
+            let v =
+              match List.assoc_opt "value" e.fields with
+              | Some v -> json_of_value v
+              | None -> Json.Null
+            in
+            push
+              (base e.name "C" ts e.dom
+              @ [ ("args", Json.Obj [ ("value", v) ]) ])
+        | Dist_v -> (* histograms have no Chrome representation *) ()
+        | Instant_v ->
+            push
+              (base e.name "i" ts e.dom
+              @ [
+                  ("s", Json.String "t");
+                  ("cat", Json.String "instant");
+                  ("args", Json.Obj (all_args e.fields));
+                ])
+        | Meta_v ->
+            push
+              (base e.name "i" ts e.dom
+              @ [
+                  ("s", Json.String "p");
+                  ("cat", Json.String "meta");
+                  ("args", Json.Obj (all_args e.fields));
+                ]))
+      events;
+    (* Close whatever is still open so every B has an E. *)
+    Hashtbl.iter
+      (fun dom st ->
+        List.iter (fun name -> push (base name "E" !last_ts dom)) !st)
+      open_spans;
+    (* Track naming metadata, one thread per domain. *)
+    let meta =
+      Json.Obj
+        (("name", Json.String "process_name")
+         :: ("ph", Json.String "M")
+         :: ("pid", Json.Int pid)
+         :: [ ("args", Json.Obj [ ("name", Json.String "julie") ]) ])
+      :: (Hashtbl.fold (fun dom () acc -> dom :: acc) doms []
+         |> List.sort Int.compare
+         |> List.map (fun dom ->
+                Json.Obj
+                  [
+                    ("name", Json.String "thread_name");
+                    ("ph", Json.String "M");
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int dom);
+                    ( "args",
+                      Json.Obj
+                        [ ("name", Json.String (Printf.sprintf "domain %d" dom)) ]
+                    );
+                  ]))
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (meta @ List.rev !out));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+
+  let collecting_sink () = memory_sink ()
+
+  let write_file path events =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Json.to_channel oc (json_of_events events))
+end

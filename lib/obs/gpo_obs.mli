@@ -2,8 +2,8 @@
 
     Every engine reports to the same global registry of named
     {e counters} (monotonic), {e gauges} (last value wins),
-    {e distributions} (count/min/mean/max summaries) and {e spans}
-    (timed, nested scopes).  Telemetry has two halves:
+    {e distributions} (log-bucketed histograms with p50/p90/p99) and
+    {e spans} (timed, nested scopes).  Telemetry has two halves:
 
     - {b Aggregates} (counters, gauges, distributions, span totals)
       accumulate in the registry whenever instrumented code runs; they
@@ -59,18 +59,27 @@ type value = I of int | F of float | S of string | B of bool
 
 val json_of_value : value -> Json.t
 
-type kind = Counter_v | Gauge_v | Dist_v | Span_v | Sample_v | Meta_v
+type kind =
+  | Counter_v
+  | Gauge_v
+  | Dist_v
+  | Span_v
+  | Sample_v
+  | Meta_v
+  | Instant_v  (** Point-in-time markers: guard trips, faults, cancels. *)
 (** Event kinds, one per record type of the JSONL schema. *)
 
 type event = {
   time : float;  (** Seconds since the sink was installed. *)
   kind : kind;
+  dom : int;  (** Id of the domain that emitted the event. *)
   name : string;  (** Metric name, or span path like ["a/b"]. *)
   fields : (string * value) list;
 }
 
 val json_of_event : event -> Json.t
-(** The JSONL schema: [{"t":…,"ev":"counter"|…,"name":…,"fields":{…}}]. *)
+(** The JSONL schema:
+    [{"t":…,"ev":"counter"|…,"dom":…,"name":…,"fields":{…}}]. *)
 
 val event_of_json : Json.t -> (event, string) result
 (** Inverse of {!json_of_event} (used by the round-trip tests and the
@@ -96,6 +105,10 @@ val memory_sink : unit -> sink * (unit -> event list)
 (** A sink retaining events in memory, with a reader returning them in
     emission order. *)
 
+val tee_sink : sink -> sink -> sink
+(** Duplicate every event (and flush) to both sinks, in order — e.g. a
+    JSONL stream and an in-memory trace collector at once. *)
+
 val install : sink -> unit
 (** Make [sink] the destination of the event half (replacing any
     previous sink) and restart the event clock. *)
@@ -111,6 +124,10 @@ val emit : kind -> string -> (string * value) list -> unit
 
 val meta : string -> (string * value) list -> unit
 (** [emit Meta_v]: tag the trace with run metadata (net, engine, …). *)
+
+val instant : string -> (string * value) list -> unit
+(** [emit Instant_v]: mark a point-in-time occurrence (guard trip,
+    injected fault, cancellation) on the emitting domain's timeline. *)
 
 (** Per-domain event capture, for code that runs engines on several
     domains at once (the portfolio racer, the parallel test drivers).
@@ -163,8 +180,14 @@ module Gauge : sig
   val value : t -> float
 end
 
-(** Named distributions: count / sum / min / mean / max summaries
-    (e.g. stubborn-set sizes, worlds per state). *)
+(** Named distributions: lock-free log-bucketed histograms (HDR-style,
+    8 sub-buckets per power-of-two octave, ~6% worst-case relative
+    quantile error) with exact count / sum / min / max on the side.
+    Observation is wait-free in the common case — an atomic count
+    increment, CAS loops for sum/min/max, and one atomic bucket
+    increment — so domains can observe concurrently without locks and
+    their histograms merge by construction (one shared cell per
+    name). *)
 module Dist : sig
   type t
 
@@ -173,6 +196,21 @@ module Dist : sig
   val observe_int : t -> int -> unit
   val count : t -> int
   val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile d q] for [q] in [0,1]: approximate q-th quantile from
+      the log buckets, clamped to the exact observed [min,max].
+      Returns [nan] when the distribution is empty. *)
+
+  val bucket_of_value : float -> int
+  (** Index of the histogram bucket a value falls in (exposed for the
+      bucketing tests). *)
+
+  val bucket_mid : int -> float
+  (** Representative (midpoint) value of a bucket index. *)
+
+  val bucket_count : int
+  (** Total number of buckets, including under/overflow. *)
 end
 
 (** Timed spans with nested scopes.  Nesting is tracked by a scope
@@ -183,11 +221,37 @@ module Span : sig
   type t
 
   val enter : string -> t
+
   val exit : t -> unit
-  (** [exit] must be called in LIFO order with [enter]. *)
+  (** [exit] should be called in LIFO order with [enter].  A violation
+      (exiting a span that is not the innermost open one, or exiting
+      twice) is detected, counted under [obs.span.misnested], and
+      recovered from without corrupting the scope stack; the span's end
+      event is tagged [misnested=true]. *)
 
   val time : string -> (unit -> 'a) -> 'a
   (** [time name f] = [enter]; [f ()]; [exit] (exception-safe). *)
+end
+
+(** Mutexes with contention probes.  [acquire] takes the uncontended
+    fast path with [Mutex.try_lock]; only a contended acquisition pays
+    for clock reads and a [lock.wait.<site>] span, and every
+    acquisition records its wait time (zero when uncontended) in the
+    [obs.lock.wait.<site>] distribution — so p99 exposes the contended
+    fraction.  With telemetry disabled the cost is one branch over a
+    plain [Mutex.lock]. *)
+module Lock : sig
+  type t
+
+  val make : string -> t
+  (** [make site] creates the mutex probing as
+      [obs.lock.wait.<site>]. *)
+
+  val acquire : t -> unit
+  val release : t -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** [acquire]; run; [release] (exception-safe). *)
 end
 
 (** Periodic progress sampling, rate-limited per metric name.  Samples
@@ -208,7 +272,15 @@ module Progress : sig
   (** Minimum seconds between samples of the same name (default 0.5). *)
 end
 
-type dist_stats = { count : int; sum : float; min : float; max : float }
+type dist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;  (** Approximate median (log-bucket quantile). *)
+  p90 : float;
+  p99 : float;
+}
 type span_stats = { count : int; total_s : float }
 
 type snapshot = {
@@ -237,3 +309,24 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 (** [with_sink s f]: {!install}[ s]; {!reset}; run [f]; stream the
     final snapshot with {!emit_snapshot}; {!uninstall} (also on
     exceptions); return [f ()]'s result. *)
+
+(** Chrome trace-event export: render a captured event stream as the
+    JSON format Perfetto and [chrome://tracing] load.  Spans become
+    duration ([B]/[E]) events on one thread track per domain, counters
+    and progress samples become counter ([C]) tracks, instants become
+    instant ([i]) events, and metadata names the tracks.  The renderer
+    tolerates unbalanced spans: stray ends are dropped and dangling
+    begins are closed at the last timestamp, so traces from crashed or
+    cancelled runs still load. *)
+module Trace : sig
+  val json_of_events : event list -> Json.t
+  (** The full trace object:
+      [{"traceEvents":[…],"displayTimeUnit":"ms"}]. *)
+
+  val collecting_sink : unit -> sink * (unit -> event list)
+  (** A sink buffering events for later rendering (alias of
+      {!memory_sink}). *)
+
+  val write_file : string -> event list -> unit
+  (** Render and write a trace file at [path]. *)
+end

@@ -24,14 +24,17 @@ module Cancel = struct
   let create () = Atomic.make false
 
   let cancel t =
-    if not (Atomic.exchange t true) then
-      Gpo_obs.Counter.incr c_cancel_requests
+    if not (Atomic.exchange t true) then begin
+      Gpo_obs.Counter.incr c_cancel_requests;
+      Gpo_obs.instant "cancel.requested" []
+    end
 
   let is_set t = Atomic.get t
 
   let check t =
     if Atomic.get t then begin
       Gpo_obs.Counter.incr c_cancel_observed;
+      Gpo_obs.instant "cancel.observed" [];
       raise Cancelled
     end
 

@@ -121,37 +121,31 @@ end)
 
 let interned_table = Interned.create 4096
 let next_tag = ref 0
-let intern_lock = Mutex.create ()
+let intern_lock = Gpo_obs.Lock.make "bitset.intern"
 let c_interned = Gpo_obs.Counter.make "bitset.interned"
 
 (* The weak table and the tag supply are shared process-wide state, so
    interning from several domains (the portfolio racer runs engines
    concurrently) must serialise.  The lock is uncontended in
    single-domain runs; the fast path for already-interned sets stays
-   lock-free. *)
+   lock-free.  The probed lock records wait times under
+   obs.lock.wait.bitset.intern — ROADMAP open item 4 suspects this site
+   caps parallel speedup. *)
 let intern s =
   if s.tag >= 0 then s
   else begin
     (* Fault probe sits before the lock: an injected failure must not
        leave the process-wide intern lock held. *)
     Guard.Fault.probe "bitset.intern";
-    Mutex.lock intern_lock;
-    match
-      let r = Interned.merge interned_table s in
-      if r == s && s.tag < 0 then begin
-        (* Fresh canonical representative: assign its identity. *)
-        s.tag <- !next_tag;
-        incr next_tag;
-        Gpo_obs.Counter.incr c_interned
-      end;
-      r
-    with
-    | r ->
-        Mutex.unlock intern_lock;
-        r
-    | exception e ->
-        Mutex.unlock intern_lock;
-        raise e
+    Gpo_obs.Lock.with_lock intern_lock (fun () ->
+        let r = Interned.merge interned_table s in
+        if r == s && s.tag < 0 then begin
+          (* Fresh canonical representative: assign its identity. *)
+          s.tag <- !next_tag;
+          incr next_tag;
+          Gpo_obs.Counter.incr c_interned
+        end;
+        r)
   end
 
 let interned s = s.tag >= 0

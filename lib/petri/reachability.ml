@@ -311,7 +311,10 @@ let explore_par_inner ~pool ~strategy ~max_states ~max_deadlocks ~traces ~cancel
         | exception Guard.Interrupted reason -> abort (Crew_interrupted reason)
         | exception e -> abort (Crew_exn (e, Printexc.get_raw_backtrace ()))
     in
-    loop ()
+    (* The span puts one "reach.worker" duration event on each worker
+       domain's trace track, so a --trace-out timeline shows worker
+       lifetimes alongside the lock-wait spans. *)
+    Gpo_obs.Span.time "reach.worker" loop
   in
   Par.Pool.run pool (List.init n_workers worker);
   (match Atomic.get stopper with

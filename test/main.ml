@@ -28,6 +28,8 @@ let () =
       ("certify", Test_certify.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("deep-obs", Test_deep_obs.suite);
+      ("bench-compare", Test_bench_compare.suite);
       ("par", Test_par.suite);
       ("chaos", Test_chaos.suite);
     ]

@@ -1,0 +1,161 @@
+(* Tests for the bench regression gate: row matching by identity
+   fields, per-metric noise thresholds, regression/improvement
+   detection, and unmatched-row reporting. *)
+
+module J = Gpo_obs.Json
+module C = Bench_compare.Compare
+
+(* A report shaped like BENCH_guard.json, with a meta block the gate
+   must ignore. *)
+let report rows =
+  J.Obj
+    [
+      ( "meta",
+        J.Obj
+          [
+            ("cores", J.Int 4);
+            ("os", J.String "TestOS");
+            ("git_sha", J.String "deadbeef");
+            ("run_id", J.String "0-0");
+          ] );
+      ("table", J.String "guard");
+      ("rows", J.List rows);
+    ]
+
+let row ?(net = "nsdp-12") ?(plain = 2.0) ?(guarded = 2.05) ?(overhead = 1.25)
+    () =
+  J.Obj
+    [
+      ("net", J.String net);
+      ("plain_s", J.Float plain);
+      ("guarded_s", J.Float guarded);
+      ("overhead_pct", J.Float overhead);
+    ]
+
+let test_identical_passes () =
+  let r = report [ row (); row ~net:"asat-8" ~plain:0.7 ~guarded:0.71 () ] in
+  let o = C.compare_reports ~base:r ~fresh:r () in
+  Alcotest.(check bool) "ok" true (C.ok o);
+  Alcotest.(check int) "all metrics compared" 6 o.C.compared;
+  Alcotest.(check int) "no regressions" 0 (List.length o.C.regressions);
+  Alcotest.(check int) "no improvements" 0 (List.length o.C.improvements);
+  Alcotest.(check int) "no unmatched" 0
+    (List.length o.C.unmatched_base + List.length o.C.unmatched_fresh)
+
+let test_2x_regression_flagged () =
+  let base = report [ row () ] in
+  let fresh = report [ row ~guarded:4.1 () ] in
+  let o = C.compare_reports ~base ~fresh () in
+  Alcotest.(check bool) "not ok" false (C.ok o);
+  match o.C.regressions with
+  | [ v ] ->
+      Alcotest.(check string) "metric" "guarded_s" v.C.metric;
+      Alcotest.(check bool) "delta is ~2x" true
+        (v.C.delta_pct > 90.0 && v.C.delta_pct < 110.0)
+  | vs -> Alcotest.failf "expected exactly one regression, got %d"
+            (List.length vs)
+
+let test_noise_tolerated () =
+  (* 10% wobble on times and a sub-point overhead change stay under the
+     default 30% / 3-point thresholds. *)
+  let base = report [ row () ] in
+  let fresh = report [ row ~plain:2.2 ~guarded:1.9 ~overhead:2.1 () ] in
+  let o = C.compare_reports ~base ~fresh () in
+  Alcotest.(check bool) "ok under noise" true (C.ok o);
+  Alcotest.(check int) "no improvements either" 0
+    (List.length o.C.improvements)
+
+let test_improvement_detected () =
+  let base = report [ row () ] in
+  let fresh = report [ row ~guarded:1.0 () ] in
+  let o = C.compare_reports ~base ~fresh () in
+  Alcotest.(check bool) "ok" true (C.ok o);
+  Alcotest.(check int) "one improvement" 1 (List.length o.C.improvements)
+
+let test_tiny_absolute_change_is_noise () =
+  (* A 2x ratio on a microsecond-scale time is below the absolute
+     floor: scheduler jitter, not a regression. *)
+  let base = report [ row ~plain:0.0005 ~guarded:0.0006 () ] in
+  let fresh = report [ row ~plain:0.001 ~guarded:0.0012 () ] in
+  let o = C.compare_reports ~base ~fresh () in
+  Alcotest.(check bool) "sub-floor change ignored" true (C.ok o)
+
+let test_overhead_points_threshold () =
+  let base = report [ row ~overhead:1.2 () ] in
+  let fresh = report [ row ~overhead:5.0 () ] in
+  let o = C.compare_reports ~base ~fresh () in
+  Alcotest.(check bool) "overhead jump regresses" false (C.ok o);
+  (* The threshold scales the allowed points: 0.5 -> 5 points slack. *)
+  let o = C.compare_reports ~threshold:0.5 ~base ~fresh () in
+  Alcotest.(check bool) "wider threshold tolerates it" true (C.ok o)
+
+let test_speedup_direction () =
+  let srow s =
+    J.Obj
+      [ ("net", J.String "nsdp-7"); ("jobs", J.Int 2); ("speedup", J.Float s) ]
+  in
+  let wrap r = J.Obj [ ("exploration", J.List [ r ]) ] in
+  (* Speedup is higher-better: a drop regresses, a rise does not. *)
+  let o =
+    C.compare_reports ~base:(wrap (srow 1.5)) ~fresh:(wrap (srow 0.7)) ()
+  in
+  Alcotest.(check bool) "speedup drop regresses" false (C.ok o);
+  let o =
+    C.compare_reports ~base:(wrap (srow 0.7)) ~fresh:(wrap (srow 1.5)) ()
+  in
+  Alcotest.(check bool) "speedup rise is fine" true (C.ok o);
+  Alcotest.(check int) "and counts as improvement" 1
+    (List.length o.C.improvements)
+
+let test_unmatched_rows_reported () =
+  let base = report [ row (); row ~net:"asat-8" () ] in
+  let fresh = report [ row (); row ~net:"rw-11" () ] in
+  let o = C.compare_reports ~base ~fresh () in
+  Alcotest.(check bool) "still ok (unmatched is not a regression)" true
+    (C.ok o);
+  Alcotest.(check int) "baseline-only row" 1 (List.length o.C.unmatched_base);
+  Alcotest.(check int) "fresh-only row" 1 (List.length o.C.unmatched_fresh);
+  Alcotest.(check bool) "names the missing row" true
+    (List.exists
+       (fun k -> Astring_contains.contains "asat-8" k)
+       o.C.unmatched_base)
+
+let test_identity_includes_non_metric_fields () =
+  (* Same net but different jobs: those are different rows, not a
+     comparison pair. *)
+  let wrap jobs t =
+    J.Obj
+      [
+        ( "exploration",
+          J.List
+            [
+              J.Obj
+                [
+                  ("net", J.String "nsdp-7");
+                  ("jobs", J.Int jobs);
+                  ("time_s", J.Float t);
+                ];
+            ] );
+      ]
+  in
+  let o = C.compare_reports ~base:(wrap 1 0.1) ~fresh:(wrap 2 10.0) () in
+  Alcotest.(check int) "nothing compared across identities" 0 o.C.compared;
+  Alcotest.(check bool) "so no regression" true (C.ok o)
+
+let suite =
+  [
+    Alcotest.test_case "identical passes" `Quick test_identical_passes;
+    Alcotest.test_case "2x regression flagged" `Quick
+      test_2x_regression_flagged;
+    Alcotest.test_case "noise tolerated" `Quick test_noise_tolerated;
+    Alcotest.test_case "improvement detected" `Quick test_improvement_detected;
+    Alcotest.test_case "tiny absolute change is noise" `Quick
+      test_tiny_absolute_change_is_noise;
+    Alcotest.test_case "overhead points threshold" `Quick
+      test_overhead_points_threshold;
+    Alcotest.test_case "speedup direction" `Quick test_speedup_direction;
+    Alcotest.test_case "unmatched rows reported" `Quick
+      test_unmatched_rows_reported;
+    Alcotest.test_case "identity includes non-metric fields" `Quick
+      test_identity_includes_non_metric_fields;
+  ]

@@ -250,11 +250,12 @@ let ablation () =
        ])
 
 (* ------------------------------------------------------------------ *)
-(* Scaling: domain-parallel exploration at 1/2/4 workers, and the
-   racing portfolio against each single engine.  The report records the
-   host's recommended domain count: on a single-core host the speedup
-   column measures sharding/steal overhead, not parallelism, and reads
-   near (or below) 1x by design.                                       *)
+(* Scaling: domain-parallel exploration at 1/2/4 workers, the parallel
+   GPN explorer on restart-heavy nets, and the racing portfolio against
+   each single engine.  The report records the host's recommended
+   domain count: on a single-core host the speedup columns measure
+   sharding/wave overhead, not parallelism, and read near (or below)
+   1x by design.                                                       *)
 
 let scaling () =
   let module J = Gpo_obs.Json in
@@ -309,6 +310,49 @@ let scaling () =
         job_counts;
       Format.printf "@.")
     nets;
+  section "Scaling — parallel GPN exploration (1/2/4 domains)";
+  Format.printf
+    "workload: over(k) with the deviation scan — many restart runs per@.\
+     wave, the unit the GPO explorer parallelizes over.@.@.";
+  let gpn_nets =
+    if smoke then [ ("over-4", Models.Over.make 4) ]
+    else [ ("over-5", Models.Over.make 5); ("over-6", Models.Over.make 6) ]
+  in
+  let gpn_rows = ref [] in
+  Format.printf "%-10s %10s %6s %6s %10s %9s@." "net" "states" "runs" "jobs"
+    "time" "speedup";
+  List.iter
+    (fun (name, net) ->
+      let base = ref nan in
+      List.iter
+        (fun jobs ->
+          let best = ref infinity and states = ref 0 and runs = ref 0 in
+          for _ = 1 to reps do
+            let r, t =
+              time (fun () -> Gpn.Explorer.analyse ~scan:true ~jobs net)
+            in
+            if t < !best then best := t;
+            states := r.Gpn.Explorer.states;
+            runs := List.length r.Gpn.Explorer.runs
+          done;
+          if jobs = 1 then base := !best;
+          let speedup = !base /. !best in
+          Format.printf "%-10s %10d %6d %6d %9.3fs %8.2fx@." name !states !runs
+            jobs !best speedup;
+          gpn_rows :=
+            J.Obj
+              [
+                ("net", J.String name);
+                ("jobs", J.Int jobs);
+                ("states", J.Int !states);
+                ("runs", J.Int !runs);
+                ("time_s", J.Float !best);
+                ("speedup", J.Float speedup);
+              ]
+            :: !gpn_rows)
+        job_counts;
+      Format.printf "@.")
+    gpn_nets;
   section "Scaling — racing portfolio vs the single engines";
   let pf_rows = ref [] in
   let pf_nets =
@@ -356,6 +400,7 @@ let scaling () =
          ("cores", J.Int cores);
          ("smoke", J.Bool smoke);
          ("exploration", J.List (List.rev !rows));
+         ("gpn", J.List (List.rev !gpn_rows));
          ("portfolio", J.List (List.rev !pf_rows));
        ])
 

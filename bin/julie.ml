@@ -271,10 +271,11 @@ let engines_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for the explicit engines' parallel exploration (full and \
-     po); 0 means auto (the recommended domain count for this machine).  \
-     With $(b,-e portfolio) the racing entrants additionally get $(docv) \
-     workers each for their own exploration."
+    "Worker domains for parallel exploration (full, po, and gpo — the GPO \
+     explorer fans each wave of runs out over $(docv) domains); 0 means \
+     auto (the recommended domain count for this machine).  With \
+     $(b,-e portfolio) the racing entrants additionally get $(docv) workers \
+     each for their own exploration."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 

@@ -20,23 +20,15 @@
    before being scheduled, and witness marking lists are sorted.  This
    also makes any single representation deterministic run-to-run. *)
 
-(* The world-set representations behind both instances keep global
-   mutable state (the hash-consing uid supply and memoized set-algebra
-   caches) that is not safe to touch from two domains at once.  Rather
-   than pushing a lock into every set operation — the tuned hot path —
-   the engine serialises at its entry points: [analyse] and
-   [deadlock_trace] run under this process-wide lock, shared by the
-   [Hashconsed] and [Tree] instances.  The portfolio racer still runs
-   GPO concurrently with the other engines (which have no shared
-   state); only a second simultaneous GPO analysis would queue, and the
-   lock is uncontended in single-engine runs.  Cooperative cancellation
-   ([?cancel]) unwinds through [Fun.protect], so a cancelled analysis
-   always releases the lock.  The probed lock records wait times under
-   obs.lock.wait.gpn.core, so a --trace-out run shows how long a
-   queued analysis sat behind the serialisation point. *)
-let gpn_lock = Gpo_obs.Lock.make "gpn.core"
-
-let with_gpn_lock f = Gpo_obs.Lock.with_lock gpn_lock f
+(* The engine is domain-safe end to end: the world-set layers shard
+   their hash-consing tables and keep their memo caches domain-local
+   (see world_set.ml), [Bitset.intern] is striped, and the explorer's
+   own per-analysis state is either walk-local or touched only by the
+   coordinating domain between waves.  The process-wide gpn.core lock
+   that used to serialise [analyse]/[deadlock_trace] is gone — analyses
+   run concurrently (the portfolio races engines at full --jobs width)
+   and a single analysis fans its runs out over a domain pool
+   ([analyse ~jobs]). *)
 
 module Make (W : World_set_intf.S) = struct
   module Bitset = Petri.Bitset
@@ -146,8 +138,30 @@ module Make (W : World_set_intf.S) = struct
       alternatives : Bitset.t list list;
           (* per choice cluster: its maximal independent sets *)
       initial : State.t;
-      senab : W.t Senab_tbl.t;
+      senab_id : int;
+          (* key into the per-domain memo stores: the s_enabled cache
+             is plain mutable state, so sharing one table across the
+             wave workers would race — each domain keeps its own,
+             keyed by the analysis context that owns it *)
     }
+
+    let next_senab_id = Atomic.make 0
+
+    let senab_store : (int, W.t Senab_tbl.t) Hashtbl.t Domain.DLS.key =
+      Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+    (* A domain outlives many analyses (pool workers are reused), so
+       the per-domain store is bounded: it keeps the tables of the few
+       live contexts and drops stale ones wholesale. *)
+    let senab_for ctx =
+      let store = Domain.DLS.get senab_store in
+      match Hashtbl.find_opt store ctx.senab_id with
+      | Some tbl -> tbl
+      | None ->
+          if Hashtbl.length store >= 8 then Hashtbl.reset store;
+          let tbl = Senab_tbl.create 1024 in
+          Hashtbl.add store ctx.senab_id tbl;
+          tbl
 
     let net ctx = ctx.net
     let conflict ctx = ctx.conflict
@@ -211,7 +225,7 @@ module Make (W : World_set_intf.S) = struct
         choice = !choice;
         alternatives;
         initial = State.make m0 r0;
-        senab = Senab_tbl.create 1024;
+        senab_id = Atomic.fetch_and_add next_senab_id 1;
       }
 
     let initial_of_marking ctx marking =
@@ -236,17 +250,18 @@ module Make (W : World_set_intf.S) = struct
       | 1 -> State.marking s pre.(0)
       | _ when not W.fast_identity -> s_enabled_direct pre s
       | _ -> begin
+          let senab = senab_for ctx in
           let key = (t, Array.fold_right (fun p acc -> State.marking s p :: acc) pre []) in
-          match Senab_tbl.find_opt ctx.senab key with
+          match Senab_tbl.find_opt senab key with
           | Some r ->
               Gpo_obs.Counter.incr c_senab_hit;
               r
           | None ->
               Gpo_obs.Counter.incr c_senab_miss;
               let r = s_enabled_direct pre s in
-              if Senab_tbl.length ctx.senab >= senab_bound then
-                Senab_tbl.reset ctx.senab;
-              Senab_tbl.add ctx.senab key r;
+              if Senab_tbl.length senab >= senab_bound then
+                Senab_tbl.reset senab;
+              Senab_tbl.add senab key r;
               r
         end
 
@@ -714,48 +729,69 @@ module Make (W : World_set_intf.S) = struct
       in
       walk marking
 
+    (* A deviation restart discovered inside a walk, reported to the
+       coordinator instead of being scheduled directly.  [dc_conditional]
+       distinguishes the scan-born candidates — suppressed when the
+       deviating marking is already denoted — from the cycle-closure
+       restarts, which must never be suppressed (the denotation table's
+       premise is exactly what the closing cycle violated). *)
+    type dev_candidate = {
+      dc_key : Bitset.t;  (* normal form of the deviating marking *)
+      dc_root : Bitset.t;
+      dc_state : State.t;
+      dc_world : W.world;
+      dc_transition : Petri.Net.transition;
+      dc_conditional : bool;
+    }
+
+    (* Everything a walk produces, merged single-threaded between
+       waves. *)
+    type walk_output = {
+      wk_run : run;
+      wk_devs : dev_candidate list;  (* state order; sorted within a state *)
+      wk_wits : (State.t * W.t * Bitset.t list) list;  (* state order *)
+      wk_denos : Bitset.t list;  (* normal forms new to this walk *)
+    }
+
     let explore ?(reduction = Batched) ?(thorough = true) ?(scan = true)
-        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ?cancel ?guard ctx =
+        ?(max_states = 1_000_000) ?(max_deadlocks = 64) ?(jobs = 1) ?cancel
+        ?guard ctx =
       let net = Dynamics.net ctx in
       let choice = Dynamics.choice_transitions ctx in
       let partner_pre = partner_presets ctx in
+      let n_transitions = net.Petri.Net.n_transitions in
       let roots_done = Marking_table.create 16 in
       let pending = Queue.create () in
+      (* Coordinator-owned tables.  Wave workers read them concurrently
+         but never write: the coordinator is the only writer, and it
+         only writes between waves, so walks see a frozen snapshot and
+         the reads need no lock. *)
       let seen_dead_markings = Marking_table.create 16 in
       (* Every classical marking denoted by some world of some visited
          state: that world's continued exploration (plus further
          deviation scans) covers the marking's future, so deviations into
          these markings need no restart. *)
       let denoted_global = Marking_table.create 64 in
-      let edges = ref 0 in
-      let total_states = ref 0 in
+      let total_states = Atomic.make 0 in
+      let total_edges = Atomic.make 0 in
+      let truncated = Atomic.make false in
+      let runs_count = Atomic.make 0 in
       let deadlocks = ref [] in
       let witness_count = ref 0 in
-      let truncated = ref false in
       let runs = ref [] in
       Gpo_obs.Counter.touch c_states;
       Gpo_obs.Counter.touch c_edges;
       Gpo_obs.Counter.touch c_restarts;
       Gpo_obs.Counter.touch c_witnesses;
       W.touch_stats ();
-      let schedule ~key root origin =
-        (match origin with
-        | Init -> ()
-        | Deviation _ -> Gpo_obs.Counter.incr c_deviations);
-        if not (Marking_table.mem roots_done key) then begin
-          Marking_table.add roots_done key ();
-          Queue.add (root, origin) pending
-        end
-      in
-      let interrupt = ref Guard.Completed in
-      schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
-      (try
-      while not (Queue.is_empty pending) do
-        Guard.check_now ?cancel ?guard ();
-        let root, origin = Queue.pop pending in
-        (match origin with
-        | Init -> ()
-        | Deviation _ -> Gpo_obs.Counter.incr c_restarts);
+      (* One run, explored in isolation: [do_walk] reads the frozen
+         global tables plus walk-local overlays and writes only its own
+         output record, so its result is a function of (root, origin)
+         and the between-waves snapshot alone — independent of worker
+         scheduling.  That is the whole determinism argument: jobs=1
+         and jobs=N execute the same walks over the same snapshots and
+         merge them in the same (dequeue) order. *)
+      let do_walk (root, origin) =
         let run =
           {
             root;
@@ -765,18 +801,24 @@ module Make (W : World_set_intf.S) = struct
             visited = State.Table.create 64;
           }
         in
-        runs := run :: !runs;
         let visited = run.visited in
+        (* Walk-local overlays over the frozen tables, reported back to
+           the coordinator for the post-wave merge. *)
+        let local_denoted = Marking_table.create 16 in
+        let denos = ref [] in
+        let local_dead = Marking_table.create 4 in
+        let wits = ref [] in
+        let devs = ref [] in
+        let steps = ref 0 in
         (* Both reductions produce at most one successor per state, so a
            run is a path (possibly closing a cycle); we walk it carrying
            the previous state's rejection sets to scan only deviations
            that are new — a world that fires nothing keeps its tokens,
            hence its pending rejections, and those were already covered
            or restarted when they first appeared. *)
-        let n_transitions = net.Petri.Net.n_transitions in
         let current = ref (Some (run.initial, Array.make n_transitions W.empty)) in
         State.Table.add visited run.initial ();
-        incr total_states;
+        Atomic.incr total_states;
         Gpo_obs.Counter.incr c_states;
         while !current <> None do
           (* One state expansion recomputes the full enabling relation
@@ -792,61 +834,73 @@ module Make (W : World_set_intf.S) = struct
             Gpo_obs.Dist.observe_int d_worlds (W.cardinal (State.valid s));
             Gpo_obs.Progress.sample "gpo" (fun () ->
                 [
-                  ("states", Gpo_obs.I !total_states);
-                  ("edges", Gpo_obs.I !edges);
-                  ("runs", Gpo_obs.I (List.length !runs));
-                  ("queue_depth", Gpo_obs.I (Queue.length pending));
+                  ("states", Gpo_obs.I (Atomic.get total_states));
+                  ("edges", Gpo_obs.I (Atomic.get total_edges));
+                  ("runs", Gpo_obs.I (Atomic.get runs_count));
                   ("worlds", Gpo_obs.I (W.cardinal (State.valid s)));
                 ])
           end;
           if debug then Format.eprintf "@[<v>STATE@ %a@]@." (State.pp net) s;
           (* Deviation restarts discovered while processing this state.
-             World-set iteration order differs between representations,
-             so candidates are collected and sorted by content before
-             being enqueued: the queue order (hence everything
-             downstream) is representation-independent. *)
-          let devs = ref [] in
-          let defer ~key root world transition =
-            devs := (key, root, world, transition) :: !devs
+             World-set iteration order differs between representations
+             (and with it the interning order under parallel runs), so
+             candidates are collected and sorted by content before being
+             reported: the report order (hence everything downstream) is
+             representation- and schedule-independent. *)
+          let state_devs = ref [] in
+          let defer ~conditional ~key root world transition =
+            state_devs :=
+              {
+                dc_key = key;
+                dc_root = root;
+                dc_state = s;
+                dc_world = world;
+                dc_transition = transition;
+                dc_conditional = conditional;
+              }
+              :: !state_devs
           in
           let flush_deviations () =
-            let cmp (k1, r1, _, t1) (k2, r2, _, t2) =
-              let c = Bitset.compare k1 k2 in
+            let cmp a b =
+              let c = Bitset.compare a.dc_key b.dc_key in
               if c <> 0 then c
               else begin
-                let c = Bitset.compare r1 r2 in
-                if c <> 0 then c else Int.compare t1 t2
+                let c = Bitset.compare a.dc_root b.dc_root in
+                if c <> 0 then c
+                else begin
+                  let c = Int.compare a.dc_transition b.dc_transition in
+                  if c <> 0 then c else Bitset.compare a.dc_world b.dc_world
+                end
               end
             in
-            List.iter
-              (fun (key, root, world, transition) ->
-                schedule ~key root
-                  (Deviation { parent = run; state = s; world; transition }))
-              (List.sort cmp !devs)
+            devs := List.rev_append (List.sort cmp !state_devs) !devs
           in
           (* Deadlock worlds: valid worlds enabling nothing. *)
           let live = Array.fold_left W.union W.empty en.s_enab in
           let dead = W.diff (State.valid s) live in
           if not (W.is_empty dead) then begin
+            (* Candidate witness markings, pre-filtered against the
+               frozen global table plus this walk's overlay.  The
+               coordinator re-filters against the merged table and
+               applies the witness cap — worker scheduling must not
+               decide which witness survives. *)
             let fresh_markings =
               W.fold
                 (fun v acc ->
                   let m = State.denoted_marking s v in
-                  if Marking_table.mem seen_dead_markings m then acc
+                  if
+                    Marking_table.mem seen_dead_markings m
+                    || Marking_table.mem local_dead m
+                  then acc
                   else begin
-                    Marking_table.add seen_dead_markings m ();
+                    Marking_table.add local_dead m ();
                     m :: acc
                   end)
                 dead []
               |> List.sort Bitset.compare
             in
-            if fresh_markings <> [] && !witness_count < max_deadlocks then begin
-              incr witness_count;
-              Gpo_obs.Counter.incr c_witnesses;
-              deadlocks :=
-                { run; state = s; worlds = dead; markings = fresh_markings }
-                :: !deadlocks
-            end
+            if fresh_markings <> [] then
+              wits := (s, dead, fresh_markings) :: !wits
           end;
           (* Deviation scan: a world whose denoted marking enables a
              choice transition its label rejected must have that branch
@@ -871,9 +925,18 @@ module Make (W : World_set_intf.S) = struct
                 m
           in
           let sp_scan = Gpo_obs.Span.enter "gpo.scan" in
+          let denoted_mem key =
+            Marking_table.mem denoted_global key
+            || Marking_table.mem local_denoted key
+          in
           if scan then
             W.iter
-              (fun v -> Marking_table.replace denoted_global (nf_denote v) ())
+              (fun v ->
+                let m = nf_denote v in
+                if not (denoted_mem m) then begin
+                  Marking_table.replace local_denoted m ();
+                  denos := m :: !denos
+                end)
               (State.valid s);
           let rejections = Array.make n_transitions W.empty in
           if scan then
@@ -909,9 +972,9 @@ module Make (W : World_set_intf.S) = struct
                         if debug then
                           Format.eprintf "DEVIATION t=%s m_t=%a covered=%b@."
                             (Net'.transition_name net t) (Net'.pp_marking net) m_t
-                            (Marking_table.mem denoted_global key);
-                        if not (Marking_table.mem denoted_global key) then
-                          defer ~key m_t v t
+                            (denoted_mem key);
+                        if not (denoted_mem key) then
+                          defer ~conditional:true ~key m_t v t
                       end)
                     rejecting
                 end)
@@ -923,7 +986,7 @@ module Make (W : World_set_intf.S) = struct
              pending rejections must be re-scanned there. *)
           let sp_fire = Gpo_obs.Span.enter "gpo.fire" in
           let labels, skipped =
-            successor_labels reduction ctx partner_pre ~thorough ~step:!edges en
+            successor_labels reduction ctx partner_pre ~thorough ~step:!steps en
           in
           (* Firing order was forced against the safe precedence (or a
              cluster was fired ahead of others in Stepwise mode): cover
@@ -936,8 +999,8 @@ module Make (W : World_set_intf.S) = struct
                   (fun v ->
                     let m_w = classical_successor net (denote v) w in
                     let key = normal_form ctx m_w in
-                    if not (Marking_table.mem denoted_global key) then
-                      defer ~key m_w v w)
+                    if not (denoted_mem key) then
+                      defer ~conditional:true ~key m_w v w)
                   en.m_enab.(w))
               skipped;
           List.iter
@@ -949,7 +1012,8 @@ module Make (W : World_set_intf.S) = struct
                        Format.pp_print_string ppf (Net'.transition_name net t)))
                   label.singles;
               let s' = apply ctx s label in
-              incr edges;
+              incr steps;
+              Atomic.incr total_edges;
               Gpo_obs.Counter.incr c_edges;
               if State.Table.mem visited s' then begin
                 if scan then begin
@@ -976,13 +1040,22 @@ module Make (W : World_set_intf.S) = struct
                     W.iter
                       (fun v ->
                         let m_t = classical_successor net (denote v) t in
-                        defer ~key:(normal_form ctx m_t) m_t v t)
+                        defer ~conditional:false ~key:(normal_form ctx m_t) m_t v
+                          t)
                       (fire_worlds t)
                   done
                 end
               end
               else begin
-                if !total_states >= max_states then truncated := true
+                (* State-budget ticket: claim a slot, give it back when
+                   over budget.  At jobs=1 this is exactly the old
+                   sequential check; across domains the counter never
+                   over-admits. *)
+                let ticket = Atomic.fetch_and_add total_states 1 in
+                if ticket >= max_states then begin
+                  ignore (Atomic.fetch_and_add total_states (-1));
+                  Atomic.set truncated true
+                end
                 else begin
                   let moved =
                     List.fold_left
@@ -994,7 +1067,6 @@ module Make (W : World_set_intf.S) = struct
                   in
                   let carried = Array.map (fun ws -> W.diff ws moved) rejections in
                   State.Table.add visited s' ();
-                  incr total_states;
                   Gpo_obs.Counter.incr c_states;
                   State.Table.add run.predecessor s' (label, s);
                   current := Some (s', carried)
@@ -1003,26 +1075,134 @@ module Make (W : World_set_intf.S) = struct
             labels;
           flush_deviations ();
           Gpo_obs.Span.exit sp_fire
+        done;
+        {
+          wk_run = run;
+          wk_devs = List.rev !devs;
+          wk_wits = List.rev !wits;
+          wk_denos = List.rev !denos;
+        }
+      in
+      let schedule ~key root origin =
+        (match origin with
+        | Init -> ()
+        | Deviation _ -> Gpo_obs.Counter.incr c_deviations);
+        if not (Marking_table.mem roots_done key) then begin
+          Marking_table.add roots_done key ();
+          Queue.add (root, origin) pending
+        end
+      in
+      (* Post-wave merge, coordinator only, in dequeue order: replay a
+         walk's denotations, witnesses and deviation candidates against
+         the (now thawed) global tables.  Conditional candidates are
+         re-checked against denotations merged from earlier walks;
+         witness candidates are re-filtered and capped here so worker
+         scheduling cannot decide which witness survives. *)
+      let merge_walk w =
+        (match w.wk_run.origin with
+        | Init -> ()
+        | Deviation _ -> Gpo_obs.Counter.incr c_restarts);
+        runs := w.wk_run :: !runs;
+        Atomic.incr runs_count;
+        List.iter (fun m -> Marking_table.replace denoted_global m ()) w.wk_denos;
+        List.iter
+          (fun (state, worlds, candidates) ->
+            let fresh =
+              List.filter
+                (fun m ->
+                  if Marking_table.mem seen_dead_markings m then false
+                  else begin
+                    Marking_table.add seen_dead_markings m ();
+                    true
+                  end)
+                candidates
+            in
+            if fresh <> [] && !witness_count < max_deadlocks then begin
+              incr witness_count;
+              Gpo_obs.Counter.incr c_witnesses;
+              deadlocks :=
+                { run = w.wk_run; state; worlds; markings = fresh } :: !deadlocks
+            end)
+          w.wk_wits;
+        List.iter
+          (fun dc ->
+            if
+              not (dc.dc_conditional && Marking_table.mem denoted_global dc.dc_key)
+            then
+              schedule ~key:dc.dc_key dc.dc_root
+                (Deviation
+                   {
+                     parent = w.wk_run;
+                     state = dc.dc_state;
+                     world = dc.dc_world;
+                     transition = dc.dc_transition;
+                   }))
+          w.wk_devs
+      in
+      (* Wave loop: drain the whole pending queue, fan the walks out
+         over the pool (each worker claims walks off a shared index,
+         its lifetime bracketed by a [gpn.worker] span), then merge in
+         dequeue order.  A wave that raises — budget trip, cancellation,
+         injected fault — is not merged: its states are already counted
+         in the shared atomics, so the telemetry invariants hold, but no
+         partial run leaks into [result.runs]. *)
+      let drain_waves pool =
+        while not (Queue.is_empty pending) do
+          Guard.check_now ?cancel ?guard ();
+          (* Explicit recursive drain: [Array.init] with a side-effecting
+             body has unspecified evaluation order. *)
+          let rec drain acc =
+            if Queue.is_empty pending then List.rev acc
+            else begin
+              let item = Queue.pop pending in
+              drain (item :: acc)
+            end
+          in
+          let walks = Array.of_list (drain []) in
+          let n = Array.length walks in
+          let results = Array.make n None in
+          let next_walk = Atomic.make 0 in
+          let worker () =
+            Gpo_obs.Span.time "gpn.worker" @@ fun () ->
+            let rec claim () =
+              let i = Atomic.fetch_and_add next_walk 1 in
+              if i < n then begin
+                results.(i) <- Some (do_walk walks.(i));
+                claim ()
+              end
+            in
+            claim ()
+          in
+          (match pool with
+          | Some pool when n > 1 ->
+              Par.Pool.run pool
+                (List.init (min (Par.Pool.size pool) n) (fun _ -> worker))
+          | _ -> worker ());
+          Array.iter (function None -> () | Some w -> merge_walk w) results
         done
-      done
-      with Guard.Interrupted reason -> interrupt := reason);
+      in
+      let interrupt = ref Guard.Completed in
+      schedule ~key:net.Petri.Net.initial net.Petri.Net.initial Init;
+      (try
+         if jobs <= 1 then drain_waves None
+         else Par.Pool.with_pool ~jobs (fun pool -> drain_waves (Some pool))
+       with Guard.Interrupted reason -> interrupt := reason);
       {
         ctx;
-        states = !total_states;
-        edges = !edges;
+        states = Atomic.get total_states;
+        edges = Atomic.get total_edges;
         runs = List.rev !runs;
         deadlocks = List.rev !deadlocks;
         stop =
           (if !interrupt <> Guard.Completed then !interrupt
-           else if !truncated then Guard.State_budget
+           else if Atomic.get truncated then Guard.State_budget
            else Guard.Completed);
       }
 
-    let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?cancel
-        ?guard net =
-      with_gpn_lock @@ fun () ->
-      explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?cancel
-        ?guard (Dynamics.make net)
+    let analyse ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?jobs
+        ?cancel ?guard net =
+      explore ?reduction ?thorough ?scan ?max_states ?max_deadlocks ?jobs
+        ?cancel ?guard (Dynamics.make net)
 
     let deadlock_free result = result.deadlocks = []
 
@@ -1065,7 +1245,6 @@ module Make (W : World_set_intf.S) = struct
     let d_witness_len = Gpo_obs.Dist.make "gpo.witness.length"
 
     let deadlock_trace ?cancel result witness =
-      with_gpn_lock @@ fun () ->
       Gpo_obs.Span.time "gpo.witness" @@ fun () ->
       let ctx = result.ctx in
       let v = W.choose witness.worlds in

@@ -63,20 +63,31 @@ end
 
 module Unique = Weak.Make (Node_hash)
 
-let unique = Unique.create 4096
-let next_uid = ref 1
+(* Striped hashcons table: equal candidate nodes hash to the same
+   stripe (children are already canonical, so [Node_hash.hash] is a
+   function of content), which keeps the canonical-survivor guarantee
+   while letting domains cons concurrently.  Each stripe lock is
+   independent; they all probe under one obs.lock.wait.worldset.unique
+   histogram. *)
+let n_stripes = 64
 
-let fresh_uid () =
-  let u = !next_uid in
-  incr next_uid;
-  u
+let unique_stripes = Array.init n_stripes (fun _ -> Unique.create 256)
+
+let unique_locks =
+  Array.init n_stripes (fun _ -> Gpo_obs.Lock.make "worldset.unique")
+
+let next_uid = Atomic.make 1
+
+let fresh_uid () = Atomic.fetch_and_add next_uid 1
 
 let c_nodes = Gpo_obs.Counter.make "worldset.unique_nodes"
 
 let hashcons node =
-  let r = Unique.merge unique node in
-  if r == node then Gpo_obs.Counter.incr c_nodes;
-  r
+  let i = Node_hash.hash node land (n_stripes - 1) in
+  Gpo_obs.Lock.with_lock unique_locks.(i) (fun () ->
+      let r = Unique.merge unique_stripes.(i) node in
+      if r == node then Gpo_obs.Counter.incr c_nodes;
+      r)
 
 let leaf w =
   let w = B.intern w in
@@ -95,23 +106,65 @@ let branch0 prefix bit l r =
 
 let cache_bound = 1 lsl 17
 
-(* The memo tables are shared mutable state.  Today the engine
-   serialises whole analyses behind the Gpn.Core lock, but the cache
-   probe and store sections take a probed lock of their own
-   (obs.lock.wait.worldset.memo): it keeps the tables safe under any
-   future intra-analysis parallelism and measures how much of the hot
-   path would serialise there.  The lock guards only the table access —
-   never the recursive set algebra, which re-enters these helpers and
-   would self-deadlock on a held mutex. *)
-let memo_lock = Gpo_obs.Lock.make "worldset.memo"
+(* Memoization is two-tiered and never takes a lock on the probe path.
 
-let cache_find tbl key =
-  Gpo_obs.Lock.with_lock memo_lock (fun () -> Hashtbl.find_opt tbl key)
+   Tier 1 — per-domain caches: each domain owns its four memo tables in
+   domain-local storage, so the recursive set algebra only ever touches
+   tables no other domain can see.  The old design guarded one global
+   table set with a probed mutex (obs.lock.wait.worldset.memo); that
+   lock — and its contention — are gone entirely.
+
+   Tier 2 — a read-mostly shared tier: small direct-mapped arrays of
+   atomic slots publishing hot union/inter/diff results across domains.
+   A slot holds [Some (key, result)]; readers [Atomic.get] and compare
+   the key, writers [Atomic.set] unconditionally.  Races lose nothing
+   but a memo entry; results are canonical either way.
+
+   Cross-domain invalidation (Guard.on_memory_pressure must drop every
+   domain's cache, not just the caller's) works by generation: a global
+   counter is bumped by [clear_caches]; each domain lazily resets its
+   tables when it next observes a stale generation.  Node ids are never
+   reused, so a stale entry that survives until then can only miss,
+   never alias. *)
+
+type caches = {
+  mutable gen : int;
+  union_c : (int, t) Hashtbl.t;
+  inter_c : (int, t) Hashtbl.t;
+  diff_c : (int, t) Hashtbl.t;
+  filter_c : (int, t) Hashtbl.t;
+}
+
+let cache_gen = Atomic.make 0
+
+let caches_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        gen = Atomic.get cache_gen;
+        union_c = Hashtbl.create 4096;
+        inter_c = Hashtbl.create 4096;
+        diff_c = Hashtbl.create 4096;
+        filter_c = Hashtbl.create 4096;
+      })
+
+let reset_caches c =
+  Hashtbl.reset c.union_c;
+  Hashtbl.reset c.inter_c;
+  Hashtbl.reset c.diff_c;
+  Hashtbl.reset c.filter_c
+
+let local_caches () =
+  let c = Domain.DLS.get caches_key in
+  let g = Atomic.get cache_gen in
+  if c.gen <> g then begin
+    c.gen <- g;
+    reset_caches c
+  end;
+  c
 
 let cache_store tbl key v =
-  Gpo_obs.Lock.with_lock memo_lock (fun () ->
-      if Hashtbl.length tbl >= cache_bound then Hashtbl.reset tbl;
-      Hashtbl.add tbl key v)
+  if Hashtbl.length tbl >= cache_bound then Hashtbl.reset tbl;
+  Hashtbl.add tbl key v
 
 (* Node ids fit in 31 bits for any realistic run (2^31 allocations);
    two of them pack into one 62-bit key, eliminating tuple allocation
@@ -119,10 +172,27 @@ let cache_store tbl key v =
 let pack a b = (a lsl 31) lor b
 let pack_comm a b = if a <= b then (a lsl 31) lor b else (b lsl 31) lor a
 
-let union_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
-let inter_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
-let diff_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
-let filter_cache : (int, t) Hashtbl.t = Hashtbl.create 4096
+(* Shared tier. *)
+let shared_bits = 14
+let shared_size = 1 lsl shared_bits
+
+let shared_slot key =
+  let h = key lxor (key lsr 29) in
+  (h * 0x9E3779B9) land (shared_size - 1)
+
+let make_shared () : (int * t) option Atomic.t array =
+  Array.init shared_size (fun _ -> Atomic.make None)
+
+let shared_union = make_shared ()
+let shared_inter = make_shared ()
+let shared_diff = make_shared ()
+
+let shared_find shared key =
+  match Atomic.get shared.(shared_slot key) with
+  | Some (k, r) when k = key -> Some r
+  | _ -> None
+
+let shared_publish shared key r = Atomic.set shared.(shared_slot key) (Some (key, r))
 
 let c_union_hit = Gpo_obs.Counter.make "worldset.union.cache_hit"
 let c_union_miss = Gpo_obs.Counter.make "worldset.union.cache_miss"
@@ -212,7 +282,7 @@ let rec remove_key k t =
 (* ------------------------------------------------------------------ *)
 (* Set algebra                                                         *)
 
-let rec union s t =
+let rec union_in c s t =
   if s == t then s
   else
     match (s, t) with
@@ -224,12 +294,19 @@ let rec union s t =
            structural cases above stay probe-free. *)
         Guard.Fault.probe "worldset.op";
         let key = pack_comm sb.uid tb.uid in
-        match cache_find union_cache key with
+        match Hashtbl.find_opt c.union_c key with
         | Some r ->
             Gpo_obs.Counter.incr c_union_hit;
             r
         | None ->
+        match shared_find shared_union key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_union_hit;
+            cache_store c.union_c key r;
+            r
+        | None ->
             Gpo_obs.Counter.incr c_union_miss;
+            let union = union_in c in
             let r =
               if sb.bit = tb.bit && sb.prefix = tb.prefix then begin
                 let l = union sb.l tb.l and r' = union sb.r tb.r in
@@ -259,11 +336,12 @@ let rec union s t =
                 end
               else join sb.prefix s tb.prefix t
             in
-            cache_store union_cache key r;
+            cache_store c.union_c key r;
+            shared_publish shared_union key r;
             r
       end
 
-let rec inter s t =
+let rec inter_in c s t =
   if s == t then s
   else
     match (s, t) with
@@ -272,12 +350,19 @@ let rec inter s t =
     | s, (Leaf { key; _ } as lf) -> if mem_key key s then lf else Empty
     | Branch sb, Branch tb -> begin
         let key = pack_comm sb.uid tb.uid in
-        match cache_find inter_cache key with
+        match Hashtbl.find_opt c.inter_c key with
         | Some r ->
             Gpo_obs.Counter.incr c_inter_hit;
             r
         | None ->
+        match shared_find shared_inter key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_inter_hit;
+            cache_store c.inter_c key r;
+            r
+        | None ->
             Gpo_obs.Counter.incr c_inter_miss;
+            let inter = inter_in c in
             let r =
               if sb.bit = tb.bit && sb.prefix = tb.prefix then begin
                 let l = inter sb.l tb.l and r' = inter sb.r tb.r in
@@ -293,11 +378,12 @@ let rec inter s t =
               then inter s (if zero_bit sb.prefix tb.bit then tb.l else tb.r)
               else Empty
             in
-            cache_store inter_cache key r;
+            cache_store c.inter_c key r;
+            shared_publish shared_inter key r;
             r
       end
 
-let rec diff s t =
+let rec diff_in c s t =
   if s == t then Empty
   else
     match (s, t) with
@@ -307,12 +393,19 @@ let rec diff s t =
     | s, Leaf { key; _ } -> remove_key key s
     | Branch sb, Branch tb -> begin
         let key = pack sb.uid tb.uid in
-        match cache_find diff_cache key with
+        match Hashtbl.find_opt c.diff_c key with
         | Some r ->
             Gpo_obs.Counter.incr c_diff_hit;
             r
         | None ->
+        match shared_find shared_diff key with
+        | Some r ->
+            Gpo_obs.Counter.incr c_diff_hit;
+            cache_store c.diff_c key r;
+            r
+        | None ->
             Gpo_obs.Counter.incr c_diff_miss;
+            let diff = diff_in c in
             let r =
               if sb.bit = tb.bit && sb.prefix = tb.prefix then begin
                 let l = diff sb.l tb.l and r' = diff sb.r tb.r in
@@ -332,9 +425,14 @@ let rec diff s t =
               then diff s (if zero_bit sb.prefix tb.bit then tb.l else tb.r)
               else s
             in
-            cache_store diff_cache key r;
+            cache_store c.diff_c key r;
+            shared_publish shared_diff key r;
             r
       end
+
+let union s t = union_in (local_caches ()) s t
+let inter s t = inter_in (local_caches ()) s t
+let diff s t = diff_in (local_caches ()) s t
 
 let rec subset s t =
   s == t
@@ -352,13 +450,14 @@ let rec subset s t =
       else false
 
 let filter_member tr s =
+  let c = local_caches () in
   let rec go s =
     match s with
     | Empty -> Empty
     | Leaf { w; _ } -> if B.mem tr w then s else Empty
     | Branch b -> begin
         let key = pack tr b.uid in
-        match cache_find filter_cache key with
+        match Hashtbl.find_opt c.filter_c key with
         | Some r ->
             Gpo_obs.Counter.incr c_filter_hit;
             r
@@ -366,7 +465,7 @@ let filter_member tr s =
             Gpo_obs.Counter.incr c_filter_miss;
             let l = go b.l and r' = go b.r in
             let r = if l == b.l && r' == b.r then s else branch0 b.prefix b.bit l r' in
-            cache_store filter_cache key r;
+            cache_store c.filter_c key r;
             r
       end
   in
@@ -387,10 +486,17 @@ let equal a b = a == b
 let compare a b = Int.compare (uid a) (uid b)
 let hash t = (uid t * 2654435761) land max_int
 
+(* Content-minimal element, matching {!World_set_tree.choose}
+   ([Set.min_elt]): trie order is interning order, which depends on the
+   global interleaving of [Bitset.intern] calls, so the leftmost leaf
+   would differ run-to-run under parallel interning.  The minimum by
+   [Bitset.compare] is a pure function of the set's contents. *)
 let rec choose = function
   | Empty -> raise Not_found
   | Leaf { w; _ } -> w
-  | Branch { l; _ } -> choose l
+  | Branch { l; r; _ } ->
+      let a = choose l and b = choose r in
+      if B.compare a b <= 0 then a else b
 
 let filter p t =
   let rec go t =
@@ -456,13 +562,23 @@ let pp ?name () ppf ws =
     (elements ws)
 
 (* Exposed for the micro-bench and tests. *)
-let unique_nodes () = Unique.count unique
+let unique_nodes () =
+  Array.fold_left (fun acc s -> acc + Unique.count s) 0 unique_stripes
+
+let clear_shared shared =
+  Array.iter (fun slot -> Atomic.set slot None) shared
 
 let clear_caches () =
-  Hashtbl.reset union_cache;
-  Hashtbl.reset inter_cache;
-  Hashtbl.reset diff_cache;
-  Hashtbl.reset filter_cache
+  (* Bump the generation so every other domain resets its local tables
+     the next time it touches them; the caller's tables and the shared
+     tier are dropped immediately. *)
+  Atomic.incr cache_gen;
+  let c = Domain.DLS.get caches_key in
+  c.gen <- Atomic.get cache_gen;
+  reset_caches c;
+  clear_shared shared_union;
+  clear_shared shared_inter;
+  clear_shared shared_diff
 
 (* Under memory pressure the memo tables are the recoverable ballast:
    dropping them costs recomputation, not correctness. *)

@@ -19,6 +19,9 @@ val unique_nodes : unit -> int
 (** Live nodes in the weak unique table (collected nodes excluded). *)
 
 val clear_caches : unit -> unit
-(** Drop the four memo caches (union/inter/diff/filter_member).
-    Canonical forms are unaffected; used by benchmarks to measure cold
-    starts. *)
+(** Drop the memo caches (union/inter/diff/filter_member): the calling
+    domain's tables and the shared publication tier immediately, every
+    other domain's tables lazily via a generation bump the next time
+    that domain performs a set operation.  Canonical forms are
+    unaffected; used by {!Guard.on_memory_pressure} and by benchmarks
+    to measure cold starts. *)

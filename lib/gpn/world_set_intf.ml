@@ -39,7 +39,10 @@ module type S = sig
   val cardinal : t -> int
 
   val choose : t -> world
-  (** Some element; raises [Not_found] on the empty set. *)
+  (** The minimum element by {!Petri.Bitset.compare}; raises
+      [Not_found] on the empty set.  Content-determined so witness
+      traces are reproducible across representations and across
+      parallel runs (interning order is not). *)
 
   val filter : (world -> bool) -> t -> t
 

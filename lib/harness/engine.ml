@@ -99,8 +99,8 @@ let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false)
            and conformance tooling must use. *)
         let r, time_s =
           timed (fun () ->
-              Gpn.Explorer.analyse ~scan:gpo_scan ~max_states ?cancel ?guard
-                net)
+              Gpn.Explorer.analyse ~scan:gpo_scan ~max_states ~jobs ?cancel
+                ?guard net)
         in
         let trace =
           match r.Gpn.Explorer.deadlocks with

@@ -66,8 +66,10 @@ val run :
     outcome with [stop = Memory] instead of crashing.
     [jobs] (default [1]) selects domain-parallel exploration for the
     explicit engines ([Full]/[Stubborn] via
-    {!Petri.Reachability.explore_par}); the symbolic and GPO engines
-    are single-domain by design and ignore it.
+    {!Petri.Reachability.explore_par}) and for the GPO engine, whose
+    explorer fans each wave of runs out over a domain pool
+    ({!Gpn.Explorer.analyse} with [~jobs]); only the symbolic engine
+    is single-domain by design and ignores it.
 
     [gpo_scan] (default [false]) selects the GPO configuration and is
     ignored by the other engines.  The default is the paper-faithful

@@ -43,8 +43,9 @@ val run :
 (** Race [engines] (default [Stubborn; Symbolic; Gpo] — the three
     reduced engines; add [Full] explicitly if wanted) on [net].
     [max_states], [witness] and [gpo_scan] are forwarded to every
-    {!Engine.run}; [jobs] additionally lets the explicit entrants use
-    domain-parallel exploration inside their own race lane.  With a
+    {!Engine.run}; [jobs] additionally lets the explicit and GPO
+    entrants use domain-parallel exploration inside their own race
+    lane.  With a
     single entrant the race degenerates to an inline {!Engine.run}.
     Raises the first entrant error if no entrant produced any outcome.
 

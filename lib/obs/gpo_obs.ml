@@ -983,6 +983,33 @@ let pp_summary ppf snap =
       (fun (n, s) -> fprintf ppf "  %-36s %7d %13.6fs@ " n s.count s.total_s)
       snap.spans
   end;
+  (* Lock-wait distributions record seconds per acquire (zero for the
+     uncontended fast path); their sums rank the process's lock hot
+     spots. *)
+  let lock_prefix = "obs.lock.wait." in
+  let contended =
+    List.filter_map
+      (fun (n, (d : dist_stats)) ->
+        if String.starts_with ~prefix:lock_prefix n && d.count > 0 then
+          Some
+            ( String.sub n (String.length lock_prefix)
+                (String.length n - String.length lock_prefix),
+              d )
+        else None)
+      snap.dists
+    |> List.sort (fun (_, (a : dist_stats)) (_, b) -> Float.compare b.sum a.sum)
+  in
+  (match contended with
+  | [] -> ()
+  | _ :: _ ->
+      let top = List.filteri (fun i _ -> i < 3) contended in
+      fprintf ppf "top contended locks:%s@ "
+        (String.concat ","
+           (List.map
+              (fun (site, (d : dist_stats)) ->
+                Printf.sprintf " %s (%.6fs total, %d acquires)" site d.sum
+                  d.count)
+              top)));
   if snap.counters = [] && snap.gauges = [] && snap.dists = [] && snap.spans = []
   then fprintf ppf "(no metrics recorded)@ ";
   fprintf ppf "-------------------------------------------------------------@]"

@@ -296,7 +296,9 @@ val snapshot : unit -> snapshot
 val reset : unit -> unit
 
 val pp_summary : Format.formatter -> snapshot -> unit
-(** The human [--stats] block. *)
+(** The human [--stats] block.  Ends with a "top contended locks" line
+    ranking the [obs.lock.wait.*] sites by total wait time when any
+    lock probe fired. *)
 
 val json_of_snapshot : snapshot -> Json.t
 

@@ -119,30 +119,40 @@ module Interned = Weak.Make (struct
   let hash s = s.digest
 end)
 
-let interned_table = Interned.create 4096
-let next_tag = ref 0
-let intern_lock = Gpo_obs.Lock.make "bitset.intern"
+(* The unique table is striped: 64 independent weak buckets keyed by
+   digest, each behind its own short-held mutex.  Equal sets always
+   hash to the same stripe, so canonicalization still serialises per
+   content — but concurrent interning from N domains (the parallel GPN
+   explorer, the portfolio racer) only contends on digest collisions
+   instead of funnelling through one process-wide lock.  Every stripe
+   lock probes under the same site name, so their wait times merge into
+   the single obs.lock.wait.bitset.intern histogram (Dist.make dedupes
+   by name; Lock.make does not, so the mutexes stay independent). *)
+let n_stripes = 64
+
+let stripe_tables = Array.init n_stripes (fun _ -> Interned.create 256)
+
+let stripe_locks =
+  Array.init n_stripes (fun _ -> Gpo_obs.Lock.make "bitset.intern")
+
+let next_tag = Atomic.make 0
 let c_interned = Gpo_obs.Counter.make "bitset.interned"
 
-(* The weak table and the tag supply are shared process-wide state, so
-   interning from several domains (the portfolio racer runs engines
-   concurrently) must serialise.  The lock is uncontended in
-   single-domain runs; the fast path for already-interned sets stays
-   lock-free.  The probed lock records wait times under
-   obs.lock.wait.bitset.intern — ROADMAP open item 4 suspects this site
-   caps parallel speedup. *)
 let intern s =
   if s.tag >= 0 then s
   else begin
     (* Fault probe sits before the lock: an injected failure must not
-       leave the process-wide intern lock held. *)
+       leave a stripe lock held. *)
     Guard.Fault.probe "bitset.intern";
-    Gpo_obs.Lock.with_lock intern_lock (fun () ->
-        let r = Interned.merge interned_table s in
+    let i = s.digest land (n_stripes - 1) in
+    Gpo_obs.Lock.with_lock stripe_locks.(i) (fun () ->
+        let r = Interned.merge stripe_tables.(i) s in
         if r == s && s.tag < 0 then begin
-          (* Fresh canonical representative: assign its identity. *)
-          s.tag <- !next_tag;
-          incr next_tag;
+          (* Fresh canonical representative: assign its identity.  The
+             tag write happens under the stripe lock, and any equal set
+             lands on this same stripe, so a tag is assigned exactly
+             once per canonical content. *)
+          s.tag <- Atomic.fetch_and_add next_tag 1;
           Gpo_obs.Counter.incr c_interned
         end;
         r)
@@ -154,7 +164,8 @@ let id s =
   if s.tag < 0 then invalid_arg "Bitset.id: set is not interned";
   s.tag
 
-let interned_count () = Interned.count interned_table
+let interned_count () =
+  Array.fold_left (fun acc t -> acc + Interned.count t) 0 stripe_tables
 
 (* ------------------------------------------------------------------ *)
 

@@ -224,6 +224,132 @@ let engine_layer_jobs () =
     [ Models.Nsdp.make 3; Models.Over.make 3; Models.Scheduler.make 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Differential: sequential vs parallel GPN exploration.  The wave
+   design makes jobs=1 and jobs=N bit-identical by construction on any
+   run that completes: walks are pure functions of the frozen
+   between-waves snapshot, and the coordinator merges them in dequeue
+   order.  The differential asserts exactly that — states, edges, run
+   roots, witness markings and worlds, reconstructed traces, stop
+   reason. *)
+
+module G = Gpn.Explorer
+
+let same_gpo_results ~label net (seq : G.result) (par : G.result) =
+  if seq.G.states <> par.G.states then
+    Failure_dump.failf ~label net "gpo par states %d <> seq %d" par.G.states
+      seq.G.states;
+  if seq.G.edges <> par.G.edges then
+    Failure_dump.failf ~label net "gpo par edges %d <> seq %d" par.G.edges
+      seq.G.edges;
+  if seq.G.stop <> par.G.stop then
+    Failure_dump.failf ~label net "gpo stop reasons differ";
+  if List.length seq.G.runs <> List.length par.G.runs then
+    Failure_dump.failf ~label net "gpo par runs %d <> seq %d"
+      (List.length par.G.runs) (List.length seq.G.runs);
+  if
+    not
+      (List.for_all2
+         (fun (a : G.run) (b : G.run) -> Petri.Bitset.equal a.G.root b.G.root)
+         seq.G.runs par.G.runs)
+  then Failure_dump.failf ~label net "gpo run roots differ";
+  if List.length seq.G.deadlocks <> List.length par.G.deadlocks then
+    Failure_dump.failf ~label net "gpo par witnesses %d <> seq %d"
+      (List.length par.G.deadlocks)
+      (List.length seq.G.deadlocks);
+  List.iter2
+    (fun (a : G.witness) (b : G.witness) ->
+      if not (List.equal Petri.Bitset.equal a.G.markings b.G.markings) then
+        Failure_dump.failf ~label net "gpo witness markings differ";
+      if
+        not
+          (List.equal Petri.Bitset.equal
+             (Gpn.World_set.elements a.G.worlds)
+             (Gpn.World_set.elements b.G.worlds))
+      then Failure_dump.failf ~label net "gpo witness worlds differ";
+      let ta = G.deadlock_trace seq a and tb = G.deadlock_trace par b in
+      if ta <> tb then
+        Failure_dump.failf ~label net "gpo witness traces differ")
+    seq.G.deadlocks par.G.deadlocks
+
+let gpo_differential_zoo () =
+  List.iter
+    (fun (net : Petri.Net.t) ->
+      let seq = G.analyse ~max_states:200_000 net in
+      List.iter
+        (fun jobs ->
+          let par = G.analyse ~max_states:200_000 ~jobs net in
+          same_gpo_results
+            ~label:(Printf.sprintf "%s-gpo-jobs-%d" net.name jobs)
+            net seq par)
+        [ 2; par_jobs ])
+    [
+      Models.Figures.fig2 6;
+      Models.Figures.fig3;
+      Models.Figures.fig5;
+      Models.Nsdp.make 4;
+      Models.Asat.make 2;
+      Models.Over.make 3;
+      Models.Rw.make 4;
+      Models.Scheduler.make 4;
+    ]
+
+let gpo_differential_random () =
+  Failure_dump.iter_seeds ~n:(min 40 (Failure_dump.seed_count ())) (fun seed ->
+      let net = Models.Random_net.generate seed in
+      let seq = G.analyse ~max_states:50_000 net in
+      let par = G.analyse ~max_states:50_000 ~jobs:par_jobs net in
+      same_gpo_results ~label:(Printf.sprintf "gpo-par-seed-%d" seed) net seq
+        par)
+
+(* Injected delays perturb worker timing but not walk content, so the
+   results stay bit-identical.  Injected cancellation storms may unwind
+   either side — results are compared only when both complete (no storm
+   fired; the fault-free schedules are then identical). *)
+let gpo_differential_faults () =
+  let net = Models.Over.make 3 in
+  for seed = 0 to 9 do
+    let with_kind kind jobs =
+      match
+        Guard.Fault.with_faults ~rate:0.05 ~kinds:[ kind ]
+          ~sites:[ "gpo.step"; "bitset.intern" ] seed (fun () ->
+            G.analyse ~max_states:50_000 ~jobs net)
+      with
+      | r -> Some r
+      | exception Par.Cancel.Cancelled -> None
+    in
+    (match
+       (with_kind Guard.Fault.Delay 1, with_kind Guard.Fault.Delay par_jobs)
+     with
+    | Some seq, Some par ->
+        same_gpo_results
+          ~label:(Printf.sprintf "gpo-delay-seed-%d" seed)
+          net seq par
+    | _ -> Alcotest.fail "delay faults must not unwind the run");
+    match
+      (with_kind Guard.Fault.Cancel 1, with_kind Guard.Fault.Cancel par_jobs)
+    with
+    | Some seq, Some par ->
+        same_gpo_results
+          ~label:(Printf.sprintf "gpo-cancel-seed-%d" seed)
+          net seq par
+    | _ ->
+        (* A storm unwound one side: acceptable, the cancellation
+           contract belongs to the caller. *)
+        ()
+  done
+
+(* Truncation cannot stay bit-identical across jobs (walks race the
+   state-budget tickets), but the stop classification must agree. *)
+let gpo_differential_truncation () =
+  (* asat(4) needs 14 GPO states, so a budget of 5 trips both sides. *)
+  let net = Models.Asat.make 4 in
+  let seq = G.analyse ~max_states:5 net in
+  let par = G.analyse ~max_states:5 ~jobs:par_jobs net in
+  Alcotest.(check bool) "sequential truncated" true (G.truncated seq);
+  Alcotest.(check bool) "parallel truncated" true (G.truncated par);
+  Alcotest.(check bool) "same stop reason" true (seq.G.stop = par.G.stop)
+
+(* ------------------------------------------------------------------ *)
 (* Portfolio                                                           *)
 
 (* The winner's verdict must match exhaustive ground truth, its witness
@@ -340,6 +466,14 @@ let suite =
     Alcotest.test_case "stubborn wrapper differential" `Quick
       stubborn_wrapper_differential;
     Alcotest.test_case "engine layer with jobs" `Quick engine_layer_jobs;
+    Alcotest.test_case "gpo seq-vs-par differential (zoo)" `Quick
+      gpo_differential_zoo;
+    Alcotest.test_case "gpo seq-vs-par differential (random)" `Slow
+      gpo_differential_random;
+    Alcotest.test_case "gpo seq-vs-par under faults" `Quick
+      gpo_differential_faults;
+    Alcotest.test_case "gpo seq-vs-par truncation" `Quick
+      gpo_differential_truncation;
     Alcotest.test_case "portfolio matches exhaustive truth" `Quick
       portfolio_matches_truth;
     Alcotest.test_case "portfolio inconclusive when all truncate" `Quick

@@ -43,6 +43,7 @@ let metric_table =
     ("time_s", time_like);
     ("ns_per_run", { time_like with abs_floor = 5.0 });
     ("plain_s", time_like);
+    ("reduced_s", time_like);
     ("guarded_s", time_like);
     ("portfolio_time_s", time_like);
     ("best_single_time_s", time_like);

@@ -8,6 +8,7 @@
      dune exec bench/main.exe ablation   # design-choice ablations
      dune exec bench/main.exe scaling    # multicore speedup + portfolio
      dune exec bench/main.exe guard      # resource-guard polling overhead
+     dune exec bench/main.exe reduce     # structural reduction ratio/speedup
      dune exec bench/main.exe micro      # Bechamel micro-benchmarks *)
 
 let section title =
@@ -623,12 +624,100 @@ let guard_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Structural reduction: how much the pipeline shrinks each family and
+   what that buys end to end.  [reduced_s] times [Engine.run
+   ~reduce:true] — reduction included, so the speedup column is the
+   honest end-to-end gain, not the gain on a pre-shrunk net.  The
+   deadlock columns of both sides are recorded (and asserted equal in
+   CI): a reduction bug shows up as a verdict flip, not a time blip.  *)
+
+let reduce_bench () =
+  let module J = Gpo_obs.Json in
+  section "Reduce — structural reduction ratio and end-to-end speedup";
+  let nets =
+    if smoke then
+      [
+        ("rw-6", Models.Rw.make 6);
+        ("over-3", Models.Over.make 3);
+        ("nsdp-4", Models.Nsdp.make 4);
+      ]
+    else
+      [
+        ("rw-8", Models.Rw.make 8);
+        ("rw-10", Models.Rw.make 10);
+        ("over-4", Models.Over.make 4);
+        ("over-5", Models.Over.make 5);
+        ("nsdp-6", Models.Nsdp.make 6);
+        ("asat-4", Models.Asat.make 4);
+      ]
+  in
+  let reps = if smoke then 1 else 3 in
+  let rows = ref [] in
+  Format.printf "%-10s %-8s %6s %10s %10s %8s@." "net" "engine" "ratio"
+    "plain" "reduced" "speedup";
+  List.iter
+    (fun (name, net) ->
+      let red = Reduce.run net in
+      let ratio = Reduce.ratio red in
+      List.iter
+        (fun kind ->
+          let plain = ref infinity and reduced = ref infinity in
+          let dl_plain = ref false and dl_red = ref false in
+          for _ = 1 to reps do
+            let o, t =
+              time (fun () -> Harness.Engine.run ~gpo_scan:true kind net)
+            in
+            dl_plain := o.Harness.Engine.deadlock;
+            plain := Float.min !plain t;
+            let o, t =
+              time (fun () ->
+                  Harness.Engine.run ~gpo_scan:true ~reduce:true kind net)
+            in
+            dl_red := o.Harness.Engine.deadlock;
+            reduced := Float.min !reduced t
+          done;
+          let speedup = !plain /. !reduced in
+          Format.printf "%-10s %-8s %5.2fx %9.3fs %9.3fs %7.2fx@." name
+            (Harness.Engine.name kind) ratio !plain !reduced speedup;
+          rows :=
+            J.Obj
+              [
+                ("net", J.String name);
+                ("engine", J.String (Harness.Engine.name kind));
+                ("ratio", J.Float ratio);
+                ("places", J.Int net.Petri.Net.n_places);
+                ("transitions", J.Int net.Petri.Net.n_transitions);
+                ("reduced_places", J.Int red.Reduce.net.Petri.Net.n_places);
+                ( "reduced_transitions",
+                  J.Int red.Reduce.net.Petri.Net.n_transitions );
+                ("deadlock_plain", J.Bool !dl_plain);
+                ("deadlock_reduced", J.Bool !dl_red);
+                ("plain_s", J.Float !plain);
+                ("reduced_s", J.Float !reduced);
+                ("speedup", J.Float speedup);
+              ]
+            :: !rows)
+        Harness.Engine.all)
+    nets;
+  write_report "reduce"
+    (J.Obj
+       [
+         ("table", J.String "reduce");
+         ("smoke", J.Bool smoke);
+         ("rows", J.List (List.rev !rows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> [ "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "guard"; "micro" ]
+    | _ ->
+        [
+          "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "guard"; "reduce";
+          "micro";
+        ]
   in
   List.iter
     (function
@@ -638,11 +727,12 @@ let () =
       | "ablation" -> ablation ()
       | "scaling" -> scaling ()
       | "guard" -> guard_overhead ()
+      | "reduce" -> reduce_bench ()
       | "micro" -> micro ()
       | other ->
           Format.eprintf
             "unknown job %S (expected table1, fig1, fig2, ablation, scaling, \
-             guard, micro)@."
+             guard, reduce, micro)@."
             other;
           exit 2)
     jobs

@@ -284,16 +284,18 @@ let resolve_jobs n = if n <= 0 then Par.Pool.default_jobs () else n
 (* Run one selection.  The portfolio races for the verdict itself, so
    its GPO entrant always uses the hardened (scan) configuration —
    the paper configuration can miss deadlocks. *)
-let run_sel ~max_states ~witness ~gpo_scan ~jobs ?deadline_s ?mem_mb sel net =
+let run_sel ~max_states ~witness ~gpo_scan ~reduce ~jobs ?deadline_s ?mem_mb sel
+    net =
   match sel with
   | Single kind ->
       guarded ?deadline_s ?mem_mb (fun guard ->
-          Harness.Engine.run ~max_states ~witness ~gpo_scan ~jobs ?guard kind net)
+          Harness.Engine.run ~max_states ~witness ~gpo_scan ~reduce ~jobs ?guard
+            kind net)
   | Portfolio ->
       (* The portfolio arms one guard per entrant, inside each racing
          domain (Gc alarms are per-domain). *)
       let r =
-        Harness.Portfolio.run ~max_states ~witness ~gpo_scan:true ~jobs
+        Harness.Portfolio.run ~max_states ~witness ~gpo_scan:true ~reduce ~jobs
           ?deadline_s ?mem_mb net
       in
       Format.printf "portfolio: %s won [%s]%s@."
@@ -313,7 +315,33 @@ let witness_arg =
   in
   Arg.(value & flag & info [ "w"; "witness" ] ~doc)
 
-let analyze file builtin size engines max_states jobs witness timeout mem_mb obs =
+let reduce_term =
+  let reduce =
+    Arg.(value & flag
+         & info [ "reduce" ]
+             ~doc:"Apply the structural reduction pipeline (agglomeration, \
+                   redundant-place removal, dead-transition elimination) to \
+                   the net before each engine runs.  Only verdict-preserving \
+                   rules fire, and witnesses are lifted back so they replay \
+                   — and certify — against the original net.")
+  in
+  let no_reduce =
+    Arg.(value & flag
+         & info [ "no-reduce" ]
+             ~doc:"Disable structural reduction (overrides $(b,--reduce)).")
+  in
+  Term.(const (fun r nr -> r && not nr) $ reduce $ no_reduce)
+
+(* The human-readable reduction summary, printed once per command before
+   the engine runs.  This informational pipeline run happens before any
+   [observed_run] resets telemetry, so the per-run stats and metrics
+   carry only the engine-internal reduction. *)
+let pp_reduction net =
+  let r = Reduce.run net in
+  Format.printf "reduction: %a@." Reduce.pp_summary r
+
+let analyze file builtin size engines max_states jobs witness reduce timeout
+    mem_mb obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   Format.printf "%a@." Petri.Net.pp_summary net;
@@ -322,6 +350,7 @@ let analyze file builtin size engines max_states jobs witness timeout mem_mb obs
     if engines = [] then List.map (fun k -> Single k) Harness.Engine.all
     else engines
   in
+  if reduce then pp_reduction net;
   with_obs obs @@ fun () ->
   let outcomes =
     List.map
@@ -329,7 +358,7 @@ let analyze file builtin size engines max_states jobs witness timeout mem_mb obs
         let o =
           observed_run obs ~net_name:net.Petri.Net.name ~engine:(sel_name sel)
             (fun () ->
-              run_sel ~max_states ~witness ~gpo_scan:false ~jobs
+              run_sel ~max_states ~witness ~gpo_scan:false ~reduce ~jobs
                 ?deadline_s:timeout ?mem_mb sel net)
         in
         Format.printf "%a@." Harness.Engine.pp_outcome o;
@@ -357,20 +386,21 @@ let analyze_cmd =
   in
   Cmd.v info
     Term.(const analyze $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ jobs_arg $ witness_arg $ timeout_arg $ mem_mb_arg
-          $ obs_term)
+          $ max_states_arg $ jobs_arg $ witness_arg $ reduce_term $ timeout_arg
+          $ mem_mb_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
 
-let trace file builtin size engine max_states jobs timeout mem_mb =
+let trace file builtin size engine max_states jobs reduce timeout mem_mb =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   let jobs = resolve_jobs jobs in
+  if reduce then pp_reduction net;
   let o =
     guarded ?deadline_s:timeout ?mem_mb (fun guard ->
-        Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true ~jobs ?guard
-          engine net)
+        Harness.Engine.run ~max_states ~witness:true ~gpo_scan:true ~reduce ~jobs
+          ?guard engine net)
   in
   match o.Harness.Engine.witness with
   | Some tr ->
@@ -410,7 +440,7 @@ let trace_cmd =
   in
   Cmd.v info
     Term.(const trace $ file_arg $ model_arg $ size_arg $ engine $ max_states_arg
-          $ jobs_arg $ timeout_arg $ mem_mb_arg)
+          $ jobs_arg $ reduce_term $ timeout_arg $ mem_mb_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / fig                                                        *)
@@ -492,7 +522,7 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 (* safety                                                              *)
 
-let safety file builtin size cover engine jobs timeout mem_mb obs =
+let safety file builtin size cover engine jobs reduce timeout mem_mb obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   if cover = [] then failwith "--place PLACE (repeatable) is required";
@@ -504,6 +534,11 @@ let safety file builtin size cover engine jobs timeout mem_mb obs =
   in
   let monitored = Petri.Safety.monitor net property in
   let jobs = resolve_jobs jobs in
+  (* The engines see the monitored net, so that is what the reduction
+     pipeline shrinks (as a deadlock query — the monitor has already
+     turned coverability into deadlock); the lifted witness comes back
+     in monitored-net indices and [Certify.safety] projects it. *)
+  if reduce then pp_reduction monitored;
   with_obs obs @@ fun () ->
   let outcome =
     (* gpo_scan: the verdict itself is the product here, so the GPO
@@ -511,7 +546,7 @@ let safety file builtin size cover engine jobs timeout mem_mb obs =
        paper configuration can miss covering markings. *)
     observed_run obs ~net_name:monitored.Petri.Net.name
       ~engine:(sel_name engine) (fun () ->
-        run_sel ~max_states:5_000_000 ~witness:true ~gpo_scan:true ~jobs
+        run_sel ~max_states:5_000_000 ~witness:true ~gpo_scan:true ~reduce ~jobs
           ?deadline_s:timeout ?mem_mb engine monitored)
   in
   if outcome.Harness.Engine.deadlock then begin
@@ -560,12 +595,13 @@ let safety_cmd =
   in
   Cmd.v info
     Term.(const safety $ file_arg $ model_arg $ size_arg $ cover $ engine
-          $ jobs_arg $ timeout_arg $ mem_mb_arg $ obs_term)
+          $ jobs_arg $ reduce_term $ timeout_arg $ mem_mb_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
 
-let certify file builtin size engines max_states jobs cover timeout mem_mb obs =
+let certify file builtin size engines max_states jobs cover reduce timeout
+    mem_mb obs =
   usage_checked @@ fun () ->
   let net = load_net file builtin size in
   let jobs = resolve_jobs jobs in
@@ -586,6 +622,7 @@ let certify file builtin size engines max_states jobs cover timeout mem_mb obs =
   let target =
     match property with None -> net | Some p -> Petri.Safety.monitor net p
   in
+  if reduce then pp_reduction target;
   with_obs obs @@ fun () ->
   let results =
     List.map
@@ -593,7 +630,7 @@ let certify file builtin size engines max_states jobs cover timeout mem_mb obs =
         let o =
           observed_run obs ~net_name:target.Petri.Net.name
             ~engine:(sel_name sel) (fun () ->
-              run_sel ~max_states ~witness:true ~gpo_scan:true ~jobs
+              run_sel ~max_states ~witness:true ~gpo_scan:true ~reduce ~jobs
                 ?deadline_s:timeout ?mem_mb sel target)
         in
         let v =
@@ -635,8 +672,8 @@ let certify_cmd =
   in
   Cmd.v info
     Term.(const certify $ file_arg $ model_arg $ size_arg $ engines_arg
-          $ max_states_arg $ jobs_arg $ cover $ timeout_arg $ mem_mb_arg
-          $ obs_term)
+          $ max_states_arg $ jobs_arg $ cover $ reduce_term $ timeout_arg
+          $ mem_mb_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* bench-diff                                                          *)

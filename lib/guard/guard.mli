@@ -114,7 +114,9 @@ val relieve_memory : unit -> unit
     ["reach.step"] and ["reach.par.step"]; ["gpo.step"], ["smv.iter"];
     the interning layer has ["bitset.intern"] and ["worldset.op"]; the
     witness walk-backs have ["reach.witness"], ["smv.witness"],
-    ["gpo.witness"]).  When disabled — the default — a probe is one
+    ["gpo.witness"]; the structural reduction pipeline probes
+    ["reduce.rule"] once per rule pass).  When disabled — the default —
+    a probe is one
     atomic load and a branch.  When enabled, each probe draws from a
     splitmix-style PRNG keyed on [(seed, site, per-site call index)],
     so a given seed yields the same fault schedule on every run: the

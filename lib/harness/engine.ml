@@ -35,11 +35,19 @@ let explicit_witness ?cancel (r : Petri.Reachability.result) =
              Petri.Reachability.trace_to ?cancel r m))
 
 let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false)
-    ?cancel ?guard ?(jobs = 1) kind net =
+    ?(reduce = false) ?cancel ?guard ?(jobs = 1) kind net =
   Gpo_obs.Span.time ("engine." ^ name kind) @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let attempt () =
-    match kind with
+    (* The structural reduction runs inside the recovery envelope below:
+       an allocation failure while reducing degrades to the identity
+       reduction inside [Reduce.run] itself, and a guard trip during
+       reduction degrades the whole run like any engine-loop trip. *)
+    let reduction =
+      if reduce then Some (Reduce.run ~query:Reduce.Deadlock net) else None
+    in
+    let net = match reduction with Some r -> r.Reduce.net | None -> net in
+    let outcome = match kind with
     | Full ->
         let r, time_s =
           timed (fun () ->
@@ -116,6 +124,13 @@ let run ?(max_states = 5_000_000) ?(witness = false) ?(gpo_scan = false)
           stop = r.stop;
           witness = trace;
         }
+    in
+    match reduction with
+    | None -> outcome
+    | Some red ->
+        (* Witnesses were found on the reduced net; expand every fused
+           transition so the trace replays against the original. *)
+        { outcome with witness = Option.map (Reduce.lift red) outcome.witness }
   in
   let degraded stop =
     {

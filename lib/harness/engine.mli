@@ -45,7 +45,7 @@ val name : kind -> string
 (** Display name ("full", "spin+po", "smv", "gpo"). *)
 
 val run :
-  ?max_states:int -> ?witness:bool -> ?gpo_scan:bool ->
+  ?max_states:int -> ?witness:bool -> ?gpo_scan:bool -> ?reduce:bool ->
   ?cancel:Par.Cancel.t -> ?guard:Guard.t -> ?jobs:int ->
   kind -> Petri.Net.t -> outcome
 (** Run one engine.  [max_states] (default [5_000_000]) bounds the
@@ -78,7 +78,16 @@ val run :
     deadlock it {e finds} but can miss deadlocks on some nets.  Pass
     [~gpo_scan:true] to use the library's hardened default with the
     deviation scan whenever the verdict itself matters (certification,
-    conformance, [julie safety]). *)
+    conformance, [julie safety]).
+
+    [reduce] (default [false]) applies the deadlock-preserving
+    structural reduction pipeline ({!Reduce.run}) to the net first and
+    runs the engine on the reduced net; any witness is lifted back
+    through the composed inverse mapping ({!Reduce.lift}) so it replays
+    — and certifies — against the net the caller passed in.  The
+    reduction runs inside the same recovery envelope as the engine: an
+    allocation failure degrades it to the identity reduction and the
+    engine sees the unreduced net. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One-line rendering: name, metric, deadlock verdict, time. *)

@@ -57,9 +57,16 @@ let fate entry =
   | Done (o, _) when conclusive o -> "conclusive"
   | Done _ | Cancelled | Failed _ -> Guard.string_of_stop (stop_of entry)
 
-let run ?max_states ?witness ?gpo_scan ?jobs ?deadline_s ?mem_mb
-    ?(engines = [ Engine.Stubborn; Engine.Symbolic; Engine.Gpo ]) net =
+let run ?max_states ?witness ?gpo_scan ?(reduce = false) ?jobs ?deadline_s
+    ?mem_mb ?(engines = [ Engine.Stubborn; Engine.Symbolic; Engine.Gpo ]) net =
   if engines = [] then invalid_arg "Portfolio.run: empty engine list";
+  (* Reduce once, up front, on the coordinator domain: every entrant
+     races the same reduced net (reducing per entrant would triple-count
+     the reduce.rule.* counters and redo identical work), the reduction
+     spans land in the main event stream rather than a loser's discarded
+     capture, and the winner's witness is lifted back below. *)
+  let reduction = if reduce then Some (Reduce.run net) else None in
+  let net = match reduction with Some r -> r.Reduce.net | None -> net in
   Gpo_obs.Counter.incr c_races;
   Gpo_obs.Counter.add c_entrants (List.length engines);
   Gpo_obs.Counter.touch c_cancelled;
@@ -130,6 +137,16 @@ let run ?max_states ?witness ?gpo_scan ?jobs ?deadline_s ?mem_mb
              race before any entrant concluded. *)
           raise Par.Cancel.Cancelled)
   | Some (winner_kind, outcome, events) ->
+      let outcome =
+        match reduction with
+        | None -> outcome
+        | Some red ->
+            {
+              outcome with
+              Engine.witness =
+                Option.map (Reduce.lift red) outcome.Engine.witness;
+            }
+      in
       Gpo_obs.Scoped.replay events;
       Gpo_obs.meta "portfolio"
         (("winner", Gpo_obs.S (Engine.name winner_kind))

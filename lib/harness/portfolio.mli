@@ -34,6 +34,7 @@ val run :
   ?max_states:int ->
   ?witness:bool ->
   ?gpo_scan:bool ->
+  ?reduce:bool ->
   ?jobs:int ->
   ?deadline_s:float ->
   ?mem_mb:int ->
@@ -45,7 +46,11 @@ val run :
     [max_states], [witness] and [gpo_scan] are forwarded to every
     {!Engine.run}; [jobs] additionally lets the explicit and GPO
     entrants use domain-parallel exploration inside their own race
-    lane.  With a
+    lane.  [reduce] applies the structural reduction pipeline
+    ({!Reduce.run}) {e once}, before the race, so every entrant
+    explores the same reduced net and the reduction counters count a
+    single pipeline run; the winner's witness is lifted back to the
+    original net.  With a
     single entrant the race degenerates to an inline {!Engine.run}.
     Raises the first entrant error if no entrant produced any outcome.
 

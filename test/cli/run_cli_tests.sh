@@ -135,6 +135,41 @@ expect_out "CERTIFIED" "portfolio certification prints the witness"
 expect 2 "unknown engine is still a usage error" -- \
   analyze -m nsdp -n 2 -e bogus
 
+# --- structural reduction: --reduce / --no-reduce ---------------------
+
+# Verdicts must be invariant under reduction, on both outcomes.
+expect 1 "reduced analyze finds the NSDP deadlock" -- \
+  analyze -m nsdp -n 4 --reduce
+expect_out "reduction:" "the reduction summary is printed"
+expect 0 "reduced analyze clears the overtake protocol" -- \
+  analyze -m over -n 3 --reduce
+expect 0 "--no-reduce wins over --reduce" -- \
+  analyze -m over -n 3 --reduce --no-reduce
+
+# A witness found on the reduced net certifies against the original.
+expect 1 "reduced analyze --witness certifies" -- \
+  analyze -m nsdp -n 4 --reduce --witness
+expect_out "CERTIFIED" "lifted witness is certified inline"
+expect 1 "reduced certify confirms on all engines" -- \
+  certify -m nsdp -n 2 --reduce
+expect_out "CERTIFIED" "reduced certify prints certified witnesses"
+expect 0 "reduced certify reports the overtake protocol clean" -- \
+  certify -m over -n 3 --reduce
+expect 1 "reduced trace replays a lifted witness" -- \
+  trace -m nsdp -n 4 --reduce
+expect_out "deadlock reached by:" "lifted trace replays step by step"
+
+# Safety reduces the monitored net; the scenario still certifies.
+expect 1 "reduced safety finds the fork cover" -- \
+  safety -m nsdp -n 2 -p gotL.0 -p gotL.1 -e smv --reduce
+expect_out "scenario (certified):" "reduced safety scenario is certified"
+
+# Reduction telemetry reaches --stats (rw collapses dramatically).
+expect 0 "reduced rw analyze with --stats" -- \
+  analyze -m rw -n 6 -e full --reduce --stats
+expect_out "reduce.ratio" "reduction ratio gauge is reported"
+expect_out "reduce.rule" "per-rule counters are reported"
+
 # --- witness replays through julie trace (file round-trip) ------------
 
 # `trace` on the same model must replay its own reconstruction; the

@@ -25,6 +25,7 @@ let () =
       ("models", Test_models.suite);
       ("harness", Test_harness.suite);
       ("conformance", Test_conformance.suite);
+      ("reduce", Test_reduce.suite);
       ("certify", Test_certify.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);

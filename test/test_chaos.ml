@@ -170,9 +170,120 @@ let engine_witness_storms () =
       (E.Gpo, "gpo.witness");
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Reduction under faults.  The pipeline's degradation contract is
+   all-or-nothing: an allocation failure inside a rule pass abandons
+   reduction entirely (the engine then analyses the original net), a
+   cancellation storm unwinds, and in no case does a half-reduced net
+   or a stale inverse mapping reach an engine. *)
+
+let reduce_degrades_to_identity () =
+  let net = Models.Rw.make 6 in
+  let r =
+    Guard.Fault.with_faults ~rate:1.0 ~kinds:[ Guard.Fault.Oom ]
+      ~sites:[ "reduce.rule" ] 7 (fun () -> Reduce.run net)
+  in
+  if not r.Reduce.degraded then
+    Alcotest.fail "oom storm in a rule pass did not mark the result degraded";
+  if not (Reduce.is_identity r) then
+    Alcotest.fail "degraded reduction must hand back the original net";
+  if r.Reduce.applied <> [] then
+    Alcotest.fail "degraded reduction reported applied rules"
+
+let reduce_cancellable () =
+  match
+    Guard.Fault.with_faults ~rate:1.0 ~kinds:[ Guard.Fault.Cancel ]
+      ~sites:[ "reduce.rule" ] 11 (fun () -> Reduce.run (Models.Rw.make 6))
+  with
+  | _ -> Alcotest.fail "cancelled reduction returned a result"
+  | exception Par.Cancel.Cancelled -> ()
+
+(* An engine asked to reduce keeps its verdict contract when the
+   reduction itself is the faulty component: the storm forces the
+   degraded-identity path, and the run must come back correct and
+   certified against the (un)reduced net. *)
+let engine_survives_reduce_storm () =
+  let net = Models.Nsdp.make 4 in
+  List.iter
+    (fun kind ->
+      let o =
+        Guard.Fault.with_faults ~rate:1.0 ~kinds:[ Guard.Fault.Oom ]
+          ~sites:[ "reduce.rule" ] 13 (fun () ->
+            E.run ~max_states:200_000 ~witness:true ~gpo_scan:true
+              ~reduce:true kind net)
+      in
+      if not o.E.deadlock then
+        Alcotest.failf "%s missed the nsdp-4 deadlock under a reduce storm"
+          (E.name kind);
+      match C.deadlock net o with
+      | C.Certified _ -> ()
+      | v ->
+          Failure_dump.failf ?trace:o.E.witness ~label:"reduce-storm" net
+            "%s witness failed certification under a reduce storm: %a"
+            (E.name kind) (C.pp net) v)
+    E.all
+
+(* Seeded mixed sweep with the storm aimed only at the reduction probe
+   site: the standard chaos contract must hold for reduced runs too. *)
+let reduce_chaos_sweep () =
+  let n = fault_seeds () in
+  let nets = [ (Models.Nsdp.make 4, true); (Models.Over.make 3, false) ] in
+  Failure_dump.iter_seeds ~n (fun seed ->
+      List.iter
+        (fun ((net : Petri.Net.t), expect_deadlock) ->
+          List.iter
+            (fun kind ->
+              let label =
+                Printf.sprintf "reduce-chaos-%s-%s-seed-%d" net.name
+                  (Failure_dump.slug (E.name kind))
+                  seed
+              in
+              match
+                Guard.Fault.with_faults ~rate:0.2 ~sites:[ "reduce.rule" ]
+                  seed (fun () ->
+                    E.run ~max_states:200_000 ~witness:true ~gpo_scan:true
+                      ~reduce:true kind net)
+              with
+              | exception Par.Cancel.Cancelled -> ()
+              | o ->
+                  if
+                    o.E.stop = Guard.Completed && (not o.E.deadlock)
+                    && expect_deadlock
+                  then
+                    Failure_dump.failf ~label net
+                      "%s reported a clean completed run on a deadlocking \
+                       net (seed %d)"
+                      (E.name kind) seed;
+                  if o.E.deadlock then begin
+                    if not expect_deadlock then
+                      Failure_dump.failf ?trace:o.E.witness ~label net
+                        "%s reported a deadlock on a deadlock-free net \
+                         (seed %d)"
+                        (E.name kind) seed;
+                    match o.E.witness with
+                    | None -> ()
+                    | Some _ -> (
+                        match C.deadlock net o with
+                        | C.Certified _ -> ()
+                        | v ->
+                            Failure_dump.failf ?trace:o.E.witness ~label net
+                              "%s lifted witness failed certification under \
+                               faults (%a, seed %d)"
+                              (E.name kind) (C.pp net) v seed)
+                  end)
+            E.all)
+        nets);
+  Guard.Fault.disable ()
+
 let suite =
   [
     Alcotest.test_case "seeded chaos sweep, all engines" `Slow chaos_sweep;
+    Alcotest.test_case "reduction degrades to identity on oom" `Quick
+      reduce_degrades_to_identity;
+    Alcotest.test_case "reduction cancellable" `Quick reduce_cancellable;
+    Alcotest.test_case "engines survive a reduce storm" `Quick
+      engine_survives_reduce_storm;
+    Alcotest.test_case "seeded reduce chaos sweep" `Slow reduce_chaos_sweep;
     Alcotest.test_case "explicit witness walk cancellable" `Quick
       explicit_witness_cancellable;
     Alcotest.test_case "gpo witness walk cancellable" `Quick

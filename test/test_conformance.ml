@@ -58,11 +58,25 @@ let check ~label net =
             "%s verdict %b disagrees with exhaustive search (%b; %d states)"
             engine verdict truth v.full.states
       in
-      if not (Petri.Reachability.truncated v.stub) then
-        disagree "stubborn" (v.stub.deadlock_count > 0);
+      (* On a net the exhaustive baseline finishes, every other engine
+         must finish too (stubborn/GPO explore subsets of the budget
+         full stayed within; the symbolic engine has no budget): a
+         truncated stop here is a guard regression silently cutting
+         explorations short, which mere verdict agreement would let
+         pass. *)
+      let incomplete engine stop =
+        if stop <> Guard.Completed then
+          Failure_dump.failf ~label net
+            "%s stopped early (%s) on a net the exhaustive baseline completed \
+             (%d states)"
+            engine (Guard.string_of_stop stop) v.full.states
+      in
+      incomplete "stubborn" v.stub.stop;
+      incomplete "symbolic" v.smv.stop;
+      incomplete "gpo (hardened)" v.gpo.stop;
+      disagree "stubborn" (v.stub.deadlock_count > 0);
       disagree "symbolic" (v.smv.deadlock <> None);
-      if not (Gpn.Explorer.truncated v.gpo) then
-        disagree "gpo (hardened)" (not (Gpn.Explorer.deadlock_free v.gpo));
+      disagree "gpo (hardened)" (not (Gpn.Explorer.deadlock_free v.gpo));
       (* Paper configuration: sound but not complete — one direction. *)
       if
         (not (Gpn.Explorer.truncated v.gpo_paper))
@@ -137,17 +151,29 @@ let random_conformance () =
 let engine_layer_conformance () =
   List.iter
     (fun (net : Petri.Net.t) ->
-      let outcome kind =
-        E.run ~max_states ~witness:true ~gpo_scan:true kind net
+      let label = net.name ^ "-engine-layer" in
+      let outcomes reduce =
+        List.map
+          (fun kind ->
+            let o = E.run ~max_states ~witness:true ~gpo_scan:true ~reduce kind net in
+            (* These instances are far under every budget: any truncated
+               stop is a regression, and filtering it out would mute the
+               verdict comparison below. *)
+            if E.truncated o then
+              Failure_dump.failf ~label net
+                "%s%s stopped early (%s) on a small instance" (E.name kind)
+                (if reduce then " (reduced)" else "")
+                (Guard.string_of_stop o.E.stop);
+            o)
+          E.all
       in
-      let os = List.map outcome E.all in
-      match List.filter (fun (o : E.outcome) -> not (E.truncated o)) os with
+      match outcomes false @ outcomes true with
       | [] -> ()
       | o :: rest ->
           List.iter
             (fun (o' : E.outcome) ->
               if o'.deadlock <> o.deadlock then
-                Failure_dump.failf ~label:(net.name ^ "-engine-layer") net
+                Failure_dump.failf ~label net
                   "%s says deadlock=%b but %s says %b" (E.name o'.kind)
                   o'.deadlock (E.name o.kind) o.deadlock)
             rest)

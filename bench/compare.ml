@@ -50,8 +50,12 @@ let metric_table =
     ("gpo_time", time_like);
     ("spin_time", time_like);
     ("smv_time", time_like);
+    ("cold_s", time_like);
+    ("warm_s", time_like);
+    ("hit_s", time_like);
     ("overhead_pct", { dir = Lower_better; abs_floor = 0.0; absolute = true });
     ("speedup", { dir = Higher_better; abs_floor = 0.05; absolute = false });
+    ("jobs_per_s", { dir = Higher_better; abs_floor = 0.5; absolute = false });
   ]
 
 let metric_class name = List.assoc_opt name metric_table

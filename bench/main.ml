@@ -708,6 +708,143 @@ let reduce_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Verification service: what warm state buys.  For each family the
+   same question is asked three times through the in-process scheduler
+   (the daemon minus the socket):
+
+     cold — empty result cache, cleared engine memo caches;
+     warm — result cache invalidated, engine/interning tables warm;
+     hit  — answered from the content-addressed result cache (the
+            witness still replays through certification on every hit).
+
+   The throughput series submits one batch of distinct jobs at pool
+   sizes 1/2/4.  On a single-core host the jobs_per_s column measures
+   scheduling overhead, not parallelism.                               *)
+
+let serve_bench () =
+  let module J = Gpo_obs.Json in
+  let module P = Serve.Protocol in
+  section "Serve — cold vs warm vs cache-hit latency, batch throughput";
+  let own_sink = not (Gpo_obs.enabled ()) in
+  if own_sink then Gpo_obs.install Gpo_obs.null_sink;
+  Fun.protect ~finally:(fun () -> if own_sink then Gpo_obs.uninstall ())
+  @@ fun () ->
+  let families =
+    if smoke then
+      [ ("nsdp-4", "nsdp", 4); ("rw-6", "rw", 6); ("fig2-6", "fig2", 6) ]
+    else
+      [ ("nsdp-6", "nsdp", 6); ("rw-10", "rw", 10); ("fig2-10", "fig2", 10) ]
+  in
+  let reps = if smoke then 2 else 3 in
+  let sched = Serve.Scheduler.create ~jobs:1 () in
+  let submit_one id size =
+    let job = P.job (P.Model { id; size }) in
+    match Serve.Scheduler.submit sched [ job ] with
+    | P.Results [ r ] -> r
+    | _ -> failwith "serve bench: unexpected scheduler reply"
+  in
+  let timed_submit id size =
+    let r, t = time (fun () -> submit_one id size) in
+    (match r.P.status with
+    | P.Ok -> ()
+    | P.Failed msg -> failwith ("serve bench: " ^ msg));
+    (r, t)
+  in
+  Format.printf "%-10s %10s %10s %10s %9s@." "net" "cold" "warm" "hit"
+    "cold/hit";
+  let rows = ref [] in
+  List.iter
+    (fun (name, id, size) ->
+      (* Cold: nothing cached, engine memo tables dropped. *)
+      Harness.Result_cache.invalidate ();
+      Gpn.World_set.clear_caches ();
+      let r, cold = timed_submit id size in
+      assert (not r.P.cached);
+      (* Warm: the result cache is emptied but the interned universe and
+         memo caches keep everything the cold run built. *)
+      let warm = ref infinity in
+      for _ = 1 to reps do
+        Harness.Result_cache.invalidate ();
+        let r, t = timed_submit id size in
+        assert (not r.P.cached);
+        warm := Float.min !warm t
+      done;
+      (* Hit: same question again — answered from the result cache after
+         its witness re-certifies by replay. *)
+      let hit = ref infinity in
+      for _ = 1 to reps do
+        let r, t = timed_submit id size in
+        assert r.P.cached;
+        hit := Float.min !hit t
+      done;
+      Format.printf "%-10s %9.4fs %9.4fs %9.4fs %8.0fx@." name cold !warm !hit
+        (cold /. !hit);
+      rows :=
+        J.Obj
+          [
+            ("net", J.String name);
+            ("engine", J.String "gpo");
+            ("cold_s", J.Float cold);
+            ("warm_s", J.Float !warm);
+            ("hit_s", J.Float !hit);
+          ]
+        :: !rows)
+    families;
+  Serve.Scheduler.shutdown sched;
+  (* Throughput: one batch of distinct questions per pool size.  The
+     result cache is emptied before every submission so each batch does
+     real verification work. *)
+  section "Serve — batch throughput at pool sizes 1/2/4";
+  let batch =
+    let sizes = if smoke then [ 4; 5; 6; 7 ] else [ 6; 7; 8; 9; 10; 11 ] in
+    List.map (fun n -> P.job (P.Model { id = "fig2"; size = n })) sizes
+  in
+  let batch_n = List.length batch in
+  Format.printf "%-8s %6s %10s %10s@." "batch" "pool" "time" "jobs/s";
+  let tp_rows = ref [] in
+  List.iter
+    (fun pool_jobs ->
+      let sched = Serve.Scheduler.create ~jobs:pool_jobs () in
+      (* Warm-up round so every pool size starts from the same warm
+         interned universe. *)
+      Harness.Result_cache.invalidate ();
+      (match Serve.Scheduler.submit sched batch with
+      | P.Results _ -> ()
+      | _ -> failwith "serve bench: warm-up rejected");
+      let best = ref infinity in
+      for _ = 1 to reps do
+        Harness.Result_cache.invalidate ();
+        let resp, t = time (fun () -> Serve.Scheduler.submit sched batch) in
+        (match resp with
+        | P.Results _ -> ()
+        | _ -> failwith "serve bench: batch rejected");
+        best := Float.min !best t
+      done;
+      Serve.Scheduler.shutdown sched;
+      let jobs_per_s = float_of_int batch_n /. !best in
+      Format.printf "%-8d %6d %9.3fs %9.1f@." batch_n pool_jobs !best
+        jobs_per_s;
+      tp_rows :=
+        J.Obj
+          [
+            ("batch", J.Int batch_n);
+            ("jobs", J.Int pool_jobs);
+            ("time_s", J.Float !best);
+            ("jobs_per_s", J.Float jobs_per_s);
+          ]
+        :: !tp_rows)
+    [ 1; 2; 4 ];
+  write_report "serve"
+    (J.Obj
+       [
+         ("table", J.String "serve");
+         ("cores", J.Int (Domain.recommended_domain_count ()));
+         ("smoke", J.Bool smoke);
+         ("latency", J.List (List.rev !rows));
+         ("throughput", J.List (List.rev !tp_rows));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs =
@@ -716,7 +853,7 @@ let () =
     | _ ->
         [
           "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "guard"; "reduce";
-          "micro";
+          "serve"; "micro";
         ]
   in
   List.iter
@@ -728,11 +865,12 @@ let () =
       | "scaling" -> scaling ()
       | "guard" -> guard_overhead ()
       | "reduce" -> reduce_bench ()
+      | "serve" -> serve_bench ()
       | "micro" -> micro ()
       | other ->
           Format.eprintf
             "unknown job %S (expected table1, fig1, fig2, ablation, scaling, \
-             guard, reduce, micro)@."
+             guard, reduce, serve, micro)@."
             other;
           exit 2)
     jobs

@@ -6,6 +6,8 @@
      julie analyze   — run one or all engines on a net (file or builtin)
      julie trace     — print a firing sequence to a deadlock
      julie certify   — run engines with witnesses and check them independently
+     julie serve     — warm-state verification daemon (batches, result cache)
+     julie submit    — send a batch of jobs to a running daemon
      julie table1    — reproduce Table 1 of the paper
      julie fig       — reproduce the Figure 1 / Figure 2 series
      julie dot       — export a net or its reachability graph to DOT
@@ -716,6 +718,234 @@ let bench_diff_cmd =
   Cmd.v info Term.(const bench_diff $ base $ fresh $ threshold)
 
 (* ------------------------------------------------------------------ *)
+(* serve / submit                                                      *)
+
+let endpoint_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Serve.Server.Unix_path path
+  | None, Some port -> Serve.Server.Tcp { host; port }
+  | Some _, Some _ -> failwith "give either --socket or --port, not both"
+  | None, None -> failwith "an endpoint is required: --socket PATH or --port N"
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Serve on (or connect to) the Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Serve on (or connect to) TCP port $(docv) at $(b,--host); \
+               port 0 lets the OS pick and the server prints the bound \
+               port on startup.")
+
+let host_arg =
+  Arg.(value & opt string "localhost" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Host for $(b,--port) (default localhost).")
+
+let serve socket port host jobs queue_limit max_requests obs =
+  usage_checked @@ fun () ->
+  let endpoint = endpoint_of socket port host in
+  with_obs obs @@ fun () ->
+  Serve.Server.serve ~jobs ~queue_limit ?max_requests
+    ~on_ready:(fun ep ->
+      Format.printf "julie: listening on %a@." Serve.Server.pp_endpoint ep;
+      Format.print_flush ())
+    endpoint;
+  exit_holds
+
+let serve_cmd =
+  let queue_limit =
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Bounded admission queue: a batch whose jobs would push the \
+                 number of admitted-but-unfinished jobs past $(docv) is \
+                 refused whole with a typed rejection instead of queuing.")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
+           ~doc:"Stop after $(docv) processed requests (tests and CI smoke).")
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the warm-state verification daemon.  The process keeps the \
+            interned-state tables, engine memo caches and the \
+            content-addressed result cache alive across requests, so \
+            repeated questions are answered from cache (after their witness \
+            re-certifies by replay) instead of re-explored.  One \
+            length-prefixed JSON frame per request/response; stop it with \
+            $(b,julie submit --shutdown)."
+  in
+  Cmd.v info
+    Term.(const serve $ socket_arg $ port_arg $ host_arg $ jobs_arg
+          $ queue_limit $ max_requests $ obs_term)
+
+let jobs_of_batch_text text =
+  let job_of item =
+    match Serve.Protocol.job_of_json item with
+    | Ok j -> j
+    | Error msg -> failwith ("batch: " ^ msg)
+  in
+  match Gpo_obs.Json.of_string text with
+  | Error msg -> failwith ("batch: " ^ msg)
+  | Ok (Gpo_obs.Json.List items) -> List.map job_of items
+  | Ok (Gpo_obs.Json.Obj _ as o) -> (
+      match Gpo_obs.Json.member "jobs" o with
+      | Some (Gpo_obs.Json.List items) -> List.map job_of items
+      | _ -> failwith "batch: expected a list of jobs or {\"jobs\": [...]}")
+  | Ok _ -> failwith "batch: expected a list of jobs"
+
+let describe_verdict = function
+  | Stdlib.Ok Serve.Protocol.Holds -> "holds"
+  | Stdlib.Ok Serve.Protocol.Violated -> "VIOLATED"
+  | Stdlib.Ok Serve.Protocol.Inconclusive -> "inconclusive"
+  | Stdlib.Error msg -> "failed: " ^ msg
+
+let submit socket port host file builtin size cover engine max_states jobs
+    witness reduce timeout mem_mb repeat batch json_out ping stats shutdown =
+  usage_checked @@ fun () ->
+  let endpoint = endpoint_of socket port host in
+  let fail msg =
+    Format.eprintf "julie: %s@." msg;
+    exit_usage
+  in
+  if ping then
+    match Serve.Client.ping endpoint with
+    | Ok Serve.Protocol.Pong ->
+        Format.printf "pong@.";
+        exit_holds
+    | Ok _ -> fail "unexpected reply to ping"
+    | Error msg -> fail msg
+  else if stats then
+    match Serve.Client.stats endpoint with
+    | Ok (Serve.Protocol.Stats_reply stats) ->
+        print_endline (Gpo_obs.Json.to_string stats);
+        exit_holds
+    | Ok _ -> fail "unexpected reply to stats"
+    | Error msg -> fail msg
+  else if shutdown then
+    match Serve.Client.shutdown endpoint with
+    | Ok Serve.Protocol.Bye ->
+        Format.printf "server stopped@.";
+        exit_holds
+    | Ok _ -> fail "unexpected reply to shutdown"
+    | Error msg -> fail msg
+  else
+    let batch_jobs =
+      match batch with
+      | Some path ->
+          jobs_of_batch_text (In_channel.with_open_text path In_channel.input_all)
+      | None ->
+          let net =
+            match (file, builtin) with
+            | Some path, None ->
+                Serve.Protocol.Inline
+                  (In_channel.with_open_text path In_channel.input_all)
+            | None, Some id -> Serve.Protocol.Model { id; size }
+            | Some _, Some _ -> failwith "give either --file or --model, not both"
+            | None, None ->
+                failwith
+                  "a net is required: --file FILE, --model NAME, or --batch FILE"
+          in
+          let j =
+            Serve.Protocol.job ~cover ~engine ~max_states ~witness ~reduce ~jobs
+              ?timeout_s:timeout ?mem_mb net
+          in
+          List.init (max 1 repeat) (fun _ -> j)
+    in
+    match Serve.Client.submit endpoint batch_jobs with
+    | Error msg -> fail msg
+    | Ok (Serve.Protocol.Rejected r) ->
+        Format.eprintf "julie: rejected: %s (limit %d, depth %d, batch %d)@."
+          r.Serve.Protocol.reason r.limit r.depth r.batch;
+        exit_usage
+    | Ok (Serve.Protocol.Results results) ->
+        if json_out then
+          print_endline
+            (Gpo_obs.Json.to_string
+               (Serve.Protocol.json_of_response (Serve.Protocol.Results results)))
+        else
+          List.iter
+            (fun (r : Serve.Protocol.job_result) ->
+              Format.printf "%-10s %s%s%s%s@." r.id
+                (describe_verdict (Serve.Protocol.verdict_of_result r))
+                (if r.cached then " [cached]" else "")
+                (if r.deduped then " [deduped]" else "")
+                (match r.certified with
+                | Some true -> " [certified]"
+                | Some false -> " [CERTIFICATION FAILED]"
+                | None -> ""))
+            results;
+        let verdicts = List.map Serve.Protocol.verdict_of_result results in
+        let any p = List.exists p verdicts in
+        if
+          List.exists
+            (fun (r : Serve.Protocol.job_result) -> r.certified = Some false)
+            results
+        then exit_indeterminate
+        else if any (function Stdlib.Ok Serve.Protocol.Violated -> true | _ -> false)
+        then exit_violated
+        else if
+          any (function
+            | Stdlib.Error _ | Stdlib.Ok Serve.Protocol.Inconclusive -> true
+            | _ -> false)
+        then exit_indeterminate
+        else exit_holds
+    | Ok _ -> fail "unexpected reply to submit"
+
+let submit_cmd =
+  let cover =
+    Arg.(value & opt_all string [] & info [ "p"; "place" ] ~docv:"PLACE"
+           ~doc:"Check a coverability property (repeatable, as in \
+                 $(b,julie safety)) instead of deadlock freedom.")
+  in
+  let engine =
+    Arg.(value & opt string "gpo" & info [ "e"; "engine" ] ~docv:"ENGINE"
+           ~doc:"Engine: full, po, smv, gpo, or portfolio.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Submit $(docv) copies of the job in one batch — duplicates \
+                 are deduped server-side, so this demonstrates in-batch \
+                 dedupe and cache hits.")
+  in
+  let batch =
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Read the batch from $(docv): a JSON list of job objects \
+                 (or {\"jobs\": [...]}) in the wire format.")
+  in
+  let json_out =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the raw JSON response instead of one line per job.")
+  in
+  let witness =
+    Arg.(value & opt bool true & info [ "witness" ] ~docv:"BOOL"
+           ~doc:"Ask for (and certify) counterexample witnesses (default \
+                 true — certification is the point of the service).")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Health check: expect pong.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the server's lifetime telemetry snapshot, cache and \
+                 queue stats as JSON.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the server gracefully.")
+  in
+  let info =
+    Cmd.info "submit" ~exits:verdict_exits
+      ~doc:"Submit a batch of verification jobs to a running $(b,julie \
+            serve) daemon and fold the results into the usual exit-code \
+            contract: 0 when every job holds, 1 when any certified violation \
+            was found, 2 on failures, inconclusive verdicts, admission \
+            rejection, or certification failure."
+  in
+  Cmd.v info
+    Term.(const submit $ socket_arg $ port_arg $ host_arg $ file_arg $ model_arg
+          $ size_arg $ cover $ engine $ max_states_arg $ jobs_arg $ witness
+          $ reduce_term $ timeout_arg $ mem_mb_arg $ repeat $ batch $ json_out
+          $ ping $ stats $ shutdown)
+
+(* ------------------------------------------------------------------ *)
 (* siphons                                                             *)
 
 let siphons file builtin size =
@@ -780,8 +1010,8 @@ let main =
   let info = Cmd.info "julie" ~version:"1.0.0" ~doc ~exits:verdict_exits in
   Cmd.group info
     [
-      analyze_cmd; trace_cmd; certify_cmd; safety_cmd; siphons_cmd; table1_cmd;
-      fig_cmd; dot_cmd; info_cmd; bench_diff_cmd;
+      analyze_cmd; trace_cmd; certify_cmd; safety_cmd; serve_cmd; submit_cmd;
+      siphons_cmd; table1_cmd; fig_cmd; dot_cmd; info_cmd; bench_diff_cmd;
     ]
 
 let () =

@@ -1,0 +1,101 @@
+(* Content-addressed result cache: (net digest, property, engine
+   config, semantics version) -> finished Engine.outcome.
+
+   The table is small (one entry per distinct question asked of a
+   server process) and shared across domains, so a single probed lock
+   is enough; the heavy work — running engines — never happens under
+   it.  Invalidation is generational: a memory-pressure event bumps
+   [generation] and sweeps the table immediately (the hook runs under
+   the lock), and [find] double-checks the stored generation so an
+   entry surviving a racing sweep still misses. *)
+
+let semantics_version = "gpo-semantics-1"
+
+type key = string
+
+let key ?(semantics = semantics_version) ?property ~digest ~engine ~max_states
+    ~witness ~gpo_scan ~reduce () =
+  Printf.sprintf "%s|net=%s|prop=%s|engine=%s|max_states=%d|witness=%b|scan=%b|reduce=%b"
+    semantics digest
+    (match property with None -> "-" | Some p -> p)
+    engine max_states witness gpo_scan reduce
+
+let render k = k
+
+type entry = { outcome : Engine.outcome; gen : int }
+
+let table : (key, entry) Hashtbl.t = Hashtbl.create 64
+let lock = Gpo_obs.Lock.make "serve.cache"
+let generation_cell = Atomic.make 0
+
+let c_hit = Gpo_obs.Counter.make "serve.cache.hit"
+let c_miss = Gpo_obs.Counter.make "serve.cache.miss"
+let c_store = Gpo_obs.Counter.make "serve.cache.store"
+let c_evicted = Gpo_obs.Counter.make "serve.cache.evicted"
+let g_size = Gpo_obs.Gauge.make "serve.cache.size"
+
+let generation () = Atomic.get generation_cell
+let size () = Gpo_obs.Lock.with_lock lock (fun () -> Hashtbl.length table)
+
+let entries () =
+  Gpo_obs.Lock.with_lock lock (fun () ->
+      Hashtbl.fold (fun k e acc -> (k, e.outcome) :: acc) table [])
+
+let invalidate () =
+  Gpo_obs.Lock.with_lock lock (fun () ->
+      Atomic.incr generation_cell;
+      Gpo_obs.Counter.add c_evicted (Hashtbl.length table);
+      Hashtbl.reset table;
+      Gpo_obs.Gauge.set_int g_size 0)
+
+(* The result cache is recoverable ballast exactly like the world-set
+   memos: dropping it costs recomputation, never correctness. *)
+let () = Guard.on_memory_pressure invalidate
+
+let evict_locked k =
+  if Hashtbl.mem table k then begin
+    Hashtbl.remove table k;
+    Gpo_obs.Counter.incr c_evicted;
+    Gpo_obs.Gauge.set_int g_size (Hashtbl.length table)
+  end
+
+(* A cached violation must still certify when replayed today — the
+   cache returns the stored report only after its witness passes the
+   same independent check a fresh [julie certify] run applies. *)
+let verifies net (o : Engine.outcome) =
+  (not o.Engine.deadlock) || o.Engine.witness = None
+  || Certify.certified (Certify.deadlock net o)
+
+let find ?verify_net k =
+  let found =
+    Gpo_obs.Lock.with_lock lock (fun () ->
+        match Hashtbl.find_opt table k with
+        | Some e when e.gen = Atomic.get generation_cell -> Some e.outcome
+        | Some _ ->
+            evict_locked k;
+            None
+        | None -> None)
+  in
+  match found with
+  | None ->
+      Gpo_obs.Counter.incr c_miss;
+      None
+  | Some outcome -> (
+      match verify_net with
+      | Some net when not (verifies net outcome) ->
+          Gpo_obs.Lock.with_lock lock (fun () -> evict_locked k);
+          Gpo_obs.Counter.incr c_miss;
+          None
+      | _ ->
+          Gpo_obs.Counter.incr c_hit;
+          Some outcome)
+
+let store k (o : Engine.outcome) =
+  if o.Engine.stop <> Guard.Completed then false
+  else begin
+    Gpo_obs.Lock.with_lock lock (fun () ->
+        Hashtbl.replace table k { outcome = o; gen = Atomic.get generation_cell };
+        Gpo_obs.Gauge.set_int g_size (Hashtbl.length table));
+    Gpo_obs.Counter.incr c_store;
+    true
+  end

@@ -1,0 +1,93 @@
+(** Content-addressed verification result cache.
+
+    The warm-state service answers repeated queries in O(1) by keying
+    every finished {!Engine.outcome} on the {e content} of the question:
+    the net digest ({!Petri.Net.digest}), the property, the engine
+    configuration that produced the verdict, and a semantics version
+    stamp.  Two jobs with the same key are the same question — the
+    engines are deterministic (bit-identical across worker counts, see
+    DESIGN.md "Parallel GPN"), so the cached report {e is} the report a
+    fresh run would produce.
+
+    Soundness rules:
+
+    - only [stop = Completed] outcomes are ever stored — a partial
+      result is an answer to a {e budget}, not to the net, and must
+      never be served to a later query with different budgets of its
+      own ({!store} refuses them);
+    - a cached violation is re-certified on every hit when the caller
+      provides the net: the witness is replayed through
+      {!Certify.deadlock} and the entry is evicted if it no longer
+      checks out — a cache hit never weakens the certification story;
+    - {!semantics_version} is part of every key, so changing engine
+      semantics (and bumping the stamp) orphans every stale entry
+      instead of serving wrong answers.
+
+    Memory governance: the cache registers with
+    {!Guard.on_memory_pressure} like the world-set memo tables — a
+    pressure event bumps the cache generation and sweeps every entry
+    (counted by [serve.cache.evicted]), so [--mem-mb] trips and genuine
+    [Out_of_memory] recovery reach the result cache too.
+
+    Telemetry: [serve.cache.hit] / [serve.cache.miss] /
+    [serve.cache.store] / [serve.cache.evicted] counters and the
+    [serve.cache.size] gauge. *)
+
+val semantics_version : string
+(** The engine-semantics stamp baked into every key.  Bump it whenever
+    a change makes old cached verdicts incomparable with fresh runs. *)
+
+type key
+(** A content-addressed cache key. *)
+
+val key :
+  ?semantics:string ->
+  ?property:string ->
+  digest:string ->
+  engine:string ->
+  max_states:int ->
+  witness:bool ->
+  gpo_scan:bool ->
+  reduce:bool ->
+  unit ->
+  key
+(** Build the key for one job.  [digest] is {!Petri.Net.digest} of the
+    net the engine actually runs on (for safety queries: the monitored
+    net); [property] is the canonical property rendering (absent for
+    plain deadlock); [engine] is the engine (or ["portfolio"]) name;
+    the remaining fields are the {!Engine.run} switches that change
+    what a run computes.  [semantics] defaults to
+    {!semantics_version} and is exposed for the differential tests
+    only.  Worker count is deliberately {e not} part of the key: the
+    engines are proven bit-identical across [jobs]. *)
+
+val render : key -> string
+(** Stable one-line rendering of a key (diagnostics, tests). *)
+
+val find : ?verify_net:Petri.Net.t -> key -> Engine.outcome option
+(** Look the key up.  A stale entry (generation behind the last
+    memory-pressure sweep) is evicted and misses.  With [verify_net],
+    a hit that claims a violation with a witness is re-certified by
+    replay ({!Certify.deadlock} against [verify_net]); an entry whose
+    witness no longer certifies is evicted and misses.  Counts
+    [serve.cache.hit] / [serve.cache.miss]. *)
+
+val store : key -> Engine.outcome -> bool
+(** Cache a finished outcome.  Returns [false] — and stores nothing —
+    when [outcome.stop <> Completed]: partial results never poison the
+    cache.  Counts [serve.cache.store]. *)
+
+val invalidate : unit -> unit
+(** Bump the generation and sweep every entry (each counted by
+    [serve.cache.evicted]).  This is the {!Guard.on_memory_pressure}
+    hook; exposed for tests and for an explicit [serve] flush. *)
+
+val generation : unit -> int
+(** The current cache generation (bumped by every {!invalidate}). *)
+
+val size : unit -> int
+(** Live entries. *)
+
+val entries : unit -> (string * Engine.outcome) list
+(** Rendered key and outcome of every live entry (test introspection:
+    the chaos suite asserts no non-[Completed] entry ever appears). *)

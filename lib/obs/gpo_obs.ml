@@ -1228,3 +1228,58 @@ module Trace = struct
       ~finally:(fun () -> close_out oc)
       (fun () -> Json.to_channel oc (json_of_events events))
 end
+
+(* ------------------------------------------------------------------ *)
+(* Per-capture summaries                                               *)
+
+let summarize_events events =
+  let spans : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  let instants : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let total = List.length events in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Span_v -> (
+          match
+            (List.assoc_opt "phase" e.fields, List.assoc_opt "dur_s" e.fields)
+          with
+          | Some (S "end"), Some (F dur) ->
+              let count, sum =
+                match Hashtbl.find_opt spans e.name with
+                | Some cell -> cell
+                | None ->
+                    let cell = (ref 0, ref 0.0) in
+                    Hashtbl.add spans e.name cell;
+                    cell
+              in
+              incr count;
+              sum := !sum +. dur
+          | _ -> ())
+      | Instant_v ->
+          let c =
+            match Hashtbl.find_opt instants e.name with
+            | Some c -> c
+            | None ->
+                let c = ref 0 in
+                Hashtbl.add instants e.name c;
+                c
+          in
+          incr c
+      | _ -> ())
+    events;
+  let sorted_fields tbl render =
+    Hashtbl.fold (fun name cell acc -> (name, render cell) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ("events", Json.Int total);
+      ( "spans",
+        Json.Obj
+          (sorted_fields spans (fun (count, sum) ->
+               Json.Obj
+                 [ ("count", Json.Int !count); ("total_s", Json.Float !sum) ]))
+      );
+      ( "instants",
+        Json.Obj (sorted_fields instants (fun c -> Json.Int !c)) );
+    ]

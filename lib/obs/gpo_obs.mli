@@ -332,3 +332,12 @@ module Trace : sig
   val write_file : string -> event list -> unit
   (** Render and write a trace file at [path]. *)
 end
+
+val summarize_events : event list -> Json.t
+(** Fold a captured event stream (from {!Scoped.capture}) into a
+    compact JSON object:
+    [{"events":N,"spans":{"name":{"count":…,"total_s":…},…},
+      "instants":{"name":N,…}}] — span totals are rebuilt from the
+    [phase=end] events, instants counted by name.  The verification
+    service attaches this summary to every response so a client sees
+    where its request spent its time without needing the full trace. *)

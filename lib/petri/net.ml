@@ -108,3 +108,41 @@ let pp_summary ppf net =
   in
   Format.fprintf ppf "net %s: %d places, %d transitions, %d arcs" net.name
     net.n_places net.n_transitions arcs
+
+(* ------------------------------------------------------------------ *)
+(* Content digest                                                      *)
+
+(* The canonical rendering walks every field that defines the net's
+   behaviour (and its reports): sizes, names in index order, the flow
+   relation as sorted index lists, and the initial marking.  Fields are
+   separated by characters that cannot appear inside identifiers, so
+   distinct structures cannot collide by concatenation. *)
+let digest net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "gpo-net-v1\n";
+  Buffer.add_string buf (string_of_int net.n_places);
+  Buffer.add_char buf '/';
+  Buffer.add_string buf (string_of_int net.n_transitions);
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun n -> Buffer.add_string buf n; Buffer.add_char buf '\n')
+    net.place_names;
+  Array.iter
+    (fun n -> Buffer.add_string buf n; Buffer.add_char buf '\n')
+    net.transition_names;
+  let add_places set =
+    Bitset.iter
+      (fun p -> Buffer.add_string buf (string_of_int p); Buffer.add_char buf ',')
+      set
+  in
+  for t = 0 to net.n_transitions - 1 do
+    Buffer.add_string buf (string_of_int t);
+    Buffer.add_char buf ':';
+    add_places net.pre.(t);
+    Buffer.add_string buf "->";
+    add_places net.post.(t);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "m0:";
+  add_places net.initial;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -72,3 +72,13 @@ val pp_transition_set : t -> Format.formatter -> Bitset.t -> unit
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line summary: name, |P|, |T|, |F|. *)
+
+val digest : t -> string
+(** Stable content hash of the net: a hex digest over the places,
+    transitions (names, in index order), the full flow relation and the
+    initial marking.  Two structurally equal nets always have the same
+    digest, across processes and library versions of the same digest
+    schema; any change to a name, an arc or the initial marking changes
+    it.  This is the content address of the net — the result cache keys
+    verification verdicts on it, and the batch scheduler uses it to
+    dedupe identical jobs. *)

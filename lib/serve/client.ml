@@ -1,0 +1,62 @@
+let connect = function
+  | Server.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> Unix.close fd; raise e);
+      fd
+  | Server.Tcp { host; port } ->
+      let addr =
+        if host = "" || host = "localhost" then Unix.inet_addr_loopback
+        else
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e -> Unix.close fd; raise e);
+      fd
+
+let request fd req =
+  match
+    Protocol.send fd (Protocol.json_of_request req);
+    Protocol.recv fd
+  with
+  | None -> Error "server closed the connection"
+  | Some (Error msg) -> Error ("bad frame: " ^ msg)
+  | Some (Ok json) -> Protocol.response_of_json json
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let with_connection endpoint f =
+  match connect endpoint with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Format.asprintf "connect %a: %s" Server.pp_endpoint endpoint
+           (Unix.error_message err))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> f fd)
+
+let submit endpoint jobs =
+  with_connection endpoint (fun fd -> request fd (Protocol.Submit jobs))
+
+let ping endpoint = with_connection endpoint (fun fd -> request fd Protocol.Ping)
+
+let stats endpoint =
+  with_connection endpoint (fun fd -> request fd Protocol.Stats)
+
+let shutdown endpoint =
+  with_connection endpoint (fun fd -> request fd Protocol.Shutdown)
+
+let wait_ready ?(attempts = 100) ?(delay_s = 0.05) endpoint =
+  let rec go n =
+    if n <= 0 then false
+    else
+      match ping endpoint with
+      | Ok Protocol.Pong -> true
+      | _ ->
+          Unix.sleepf delay_s;
+          go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,28 @@
+(** Client side of the verification service: connect to a
+    {!Server.endpoint}, exchange {!Protocol} frames, fold transport
+    and protocol failures into [result]. *)
+
+val connect : Server.endpoint -> Unix.file_descr
+(** Open a connection.  Raises [Unix.Unix_error] when nobody listens. *)
+
+val request :
+  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+(** One round trip on an open connection. *)
+
+val with_connection :
+  Server.endpoint ->
+  (Unix.file_descr -> (Protocol.response, string) result) ->
+  (Protocol.response, string) result
+(** Connect, run, always close; connection failures become [Error]. *)
+
+val submit :
+  Server.endpoint -> Protocol.job list -> (Protocol.response, string) result
+
+val ping : Server.endpoint -> (Protocol.response, string) result
+val stats : Server.endpoint -> (Protocol.response, string) result
+val shutdown : Server.endpoint -> (Protocol.response, string) result
+
+val wait_ready :
+  ?attempts:int -> ?delay_s:float -> Server.endpoint -> bool
+(** Poll [ping] until the server answers — for scripts that fork the
+    daemon and race its bind (default 100 attempts, 50ms apart). *)

@@ -1,0 +1,328 @@
+module J = Gpo_obs.Json
+
+type t = {
+  pool : Par.Pool.t;
+  pool_jobs : int;
+  queue_limit : int;
+  depth : int Atomic.t;
+  (* Serializes pool use: admission control (above) decides *whether* a
+     batch gets in; this lock only decides *when* it runs.  A rejected
+     batch never reaches it, so saturation answers immediately. *)
+  run_lock : Mutex.t;
+}
+
+let c_jobs = Gpo_obs.Counter.make "serve.jobs"
+let c_batches = Gpo_obs.Counter.make "serve.batches"
+let c_rejected = Gpo_obs.Counter.make "serve.rejected"
+let c_deduped = Gpo_obs.Counter.make "serve.batch.deduped"
+let c_failed = Gpo_obs.Counter.make "serve.jobs.failed"
+let g_depth = Gpo_obs.Gauge.make "serve.queue.depth"
+
+let create ?(jobs = 1) ?(queue_limit = 64) () =
+  let jobs = if jobs <= 0 then Par.Pool.default_jobs () else jobs in
+  let queue_limit = max 1 queue_limit in
+  List.iter Gpo_obs.Counter.touch [ c_jobs; c_batches; c_rejected; c_deduped ];
+  {
+    pool = Par.Pool.create ~jobs ();
+    pool_jobs = jobs;
+    queue_limit;
+    depth = Atomic.make 0;
+    run_lock = Mutex.create ();
+  }
+
+let pool_jobs t = t.pool_jobs
+let queue_limit t = t.queue_limit
+let depth t = Atomic.get t.depth
+let shutdown t = Par.Pool.shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Job preparation: everything that can be decided before a worker
+   domain touches the job — net resolution, property monitoring,
+   engine selection, and the content-addressed cache key.              *)
+
+type sel = Single of Harness.Engine.kind | Portfolio
+
+let sel_name = function
+  | Single k -> Harness.Engine.name k
+  | Portfolio -> "portfolio"
+
+let parse_sel = function
+  | "full" -> Ok (Single Harness.Engine.Full)
+  | "po" | "spin+po" | "stubborn" -> Ok (Single Harness.Engine.Stubborn)
+  | "smv" | "bdd" | "symbolic" -> Ok (Single Harness.Engine.Symbolic)
+  | "gpo" -> Ok (Single Harness.Engine.Gpo)
+  | "portfolio" -> Ok Portfolio
+  | s -> Error (Printf.sprintf "unknown engine %S" s)
+
+let resolve_net = function
+  | Protocol.Inline text -> (
+      match Petri.Parser.parse ~name:"net" text with
+      | Ok net -> Ok net
+      | Error e ->
+          Error (Format.asprintf "net: %a" Petri.Parser.pp_error e))
+  | Protocol.Model { id; size } -> (
+      match String.lowercase_ascii id with
+      | "fig1" -> Ok Models.Figures.fig1
+      | "fig2" -> Ok (Models.Figures.fig2 size)
+      | "fig3" -> Ok Models.Figures.fig3
+      | "fig5" -> Ok Models.Figures.fig5
+      | "fig7" -> Ok Models.Figures.fig7
+      | "scheduler" -> Ok (Models.Scheduler.make size)
+      | "random" -> Ok (Models.Random_net.generate size)
+      | id -> (
+          match Harness.Experiment.family id with
+          | fam -> Ok (fam.make size)
+          | exception Not_found ->
+              Error (Printf.sprintf "unknown model %S" id)))
+
+type prepared = {
+  job : Protocol.job;
+  net : Petri.Net.t;  (** The net the client asked about. *)
+  target : Petri.Net.t;  (** What the engine runs on (monitored for safety). *)
+  property : Petri.Safety.property option;
+  sel : sel;
+  key : Harness.Result_cache.key;
+}
+
+let canonical_property cover = "cover:" ^ String.concat "," cover
+
+let prepare (job : Protocol.job) =
+  match resolve_net job.net with
+  | Error msg -> Error msg
+  | Ok net -> (
+      match parse_sel job.engine with
+      | Error msg -> Error msg
+      | Ok sel -> (
+          let covered =
+            List.fold_right
+              (fun name acc ->
+                match acc with
+                | Error _ -> acc
+                | Ok places -> (
+                    match Petri.Net.place_index net name with
+                    | p -> Ok (p :: places)
+                    | exception Not_found ->
+                        Error (Printf.sprintf "unknown place %S" name)))
+              job.cover (Ok [])
+          in
+          match covered with
+          | Error msg -> Error msg
+          | Ok [] ->
+              let key =
+                Harness.Result_cache.key ~digest:(Petri.Net.digest net)
+                  ~engine:(sel_name sel) ~max_states:job.max_states
+                  ~witness:job.witness ~gpo_scan:true ~reduce:job.reduce ()
+              in
+              Ok { job; net; target = net; property = None; sel; key }
+          | Ok places ->
+              let property =
+                { Petri.Safety.name = "prop"; never_all = places }
+              in
+              let target = Petri.Safety.monitor net property in
+              let key =
+                Harness.Result_cache.key
+                  ~property:(canonical_property job.cover)
+                  ~digest:(Petri.Net.digest target) ~engine:(sel_name sel)
+                  ~max_states:job.max_states ~witness:job.witness
+                  ~gpo_scan:true ~reduce:job.reduce ()
+              in
+              Ok { job; net; target; property = Some property; sel; key }))
+
+(* ------------------------------------------------------------------ *)
+(* Execution of one (unique) job on a worker domain                    *)
+
+(* The verdict service always runs GPO in its hardened configuration
+   (scan on): the verdict is the product, and the paper configuration
+   can miss deadlocks. *)
+let run_engine (p : prepared) =
+  let job = p.job in
+  let jobs = if job.jobs <= 0 then Par.Pool.default_jobs () else job.jobs in
+  match p.sel with
+  | Single kind ->
+      let body guard =
+        Harness.Engine.run ~max_states:job.max_states ~witness:job.witness
+          ~gpo_scan:true ~reduce:job.reduce ~jobs ?guard kind p.target
+      in
+      (match (job.timeout_s, job.mem_mb) with
+      | None, None -> body None
+      | _ ->
+          Guard.with_guard ?deadline_s:job.timeout_s ?mem_mb:job.mem_mb
+            (fun g -> body (Some g)))
+  | Portfolio ->
+      (Harness.Portfolio.run ~max_states:job.max_states ~witness:job.witness
+         ~gpo_scan:true ~reduce:job.reduce ~jobs ?deadline_s:job.timeout_s
+         ?mem_mb:job.mem_mb p.target)
+        .Harness.Portfolio.outcome
+
+let certify (p : prepared) (o : Harness.Engine.outcome) =
+  if o.Harness.Engine.deadlock && o.Harness.Engine.witness <> None then
+    Some
+      (Harness.Certify.certified
+         (match p.property with
+         | None -> Harness.Certify.deadlock p.net o
+         | Some prop -> Harness.Certify.safety p.net prop o))
+  else None
+
+let ok_result (p : prepared) ~cached (o : Harness.Engine.outcome) =
+  {
+    Protocol.id = p.job.id;
+    status = Protocol.Ok;
+    cached;
+    deduped = false;
+    certified = certify p o;
+    report = Some (Harness.Report.json_of_outcome o);
+    metrics = J.Null;
+  }
+
+let failed_result id msg =
+  Gpo_obs.Counter.incr c_failed;
+  {
+    Protocol.id;
+    status = Protocol.Failed msg;
+    cached = false;
+    deduped = false;
+    certified = None;
+    report = None;
+    metrics = J.Null;
+  }
+
+(* One request: probe the fault site, try the cache (hits re-certify
+   their witness by replay before being served), run + store on a miss.
+   Every event the job emits is captured on the worker domain and
+   folded into the per-request metrics; failures stay inside this job's
+   result.  Faulted runs store nothing — the cache only ever holds
+   [Completed] outcomes. *)
+let execute (p : prepared) =
+  let result, events =
+    Gpo_obs.Scoped.capture (fun () ->
+        Gpo_obs.Span.time "serve.request" (fun () ->
+            try
+              Guard.Fault.probe "serve.request";
+              match
+                Harness.Result_cache.find ~verify_net:p.target p.key
+              with
+              | Some outcome -> ok_result p ~cached:true outcome
+              | None ->
+                  let outcome = run_engine p in
+                  ignore (Harness.Result_cache.store p.key outcome : bool);
+                  ok_result p ~cached:false outcome
+            with
+            | Out_of_memory ->
+                Guard.relieve_memory ();
+                failed_result p.job.id "out of memory"
+            | Par.Cancel.Cancelled -> failed_result p.job.id "cancelled"
+            | Guard.Interrupted reason ->
+                failed_result p.job.id
+                  ("interrupted: " ^ Guard.describe_stop reason)
+            | Failure msg -> failed_result p.job.id msg))
+  in
+  ({ result with Protocol.metrics = Gpo_obs.summarize_events events }, events)
+
+(* ------------------------------------------------------------------ *)
+(* Batch submission                                                    *)
+
+type slot =
+  | Immediate of Protocol.job_result  (** Failed preparation. *)
+  | Unique of prepared  (** First job with this cache key. *)
+  | Dup of int  (** Same question as the slot at this index. *)
+
+let submit t (batch : Protocol.job list) =
+  let n = List.length batch in
+  Gpo_obs.Counter.incr c_batches;
+  (* Admission control: the whole batch gets in or none of it does. *)
+  let rec admit () =
+    let cur = Atomic.get t.depth in
+    if cur + n > t.queue_limit then Error cur
+    else if Atomic.compare_and_set t.depth cur (cur + n) then Ok ()
+    else admit ()
+  in
+  match admit () with
+  | Error cur ->
+      Gpo_obs.Counter.incr c_rejected;
+      Protocol.Rejected
+        { reason = "queue_full"; limit = t.queue_limit; depth = cur; batch = n }
+  | Ok () ->
+      Gpo_obs.Gauge.set_int g_depth (Atomic.get t.depth);
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Atomic.fetch_and_add t.depth (-n) : int);
+          Gpo_obs.Gauge.set_int g_depth (Atomic.get t.depth))
+        (fun () ->
+          Gpo_obs.Counter.add c_jobs n;
+          Mutex.lock t.run_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.run_lock)
+            (fun () ->
+              (* Name anonymous jobs, prepare, and dedupe by cache key:
+                 only the first occurrence of a question is scheduled. *)
+              let seen : (string, int) Hashtbl.t = Hashtbl.create 16 in
+              let slots =
+                List.mapi
+                  (fun i (job : Protocol.job) ->
+                    let job =
+                      if job.id = "" then
+                        { job with id = Printf.sprintf "job-%d" i }
+                      else job
+                    in
+                    match prepare job with
+                    | Error msg -> Immediate (failed_result job.id msg)
+                    | Ok p -> (
+                        let k = Harness.Result_cache.render p.key in
+                        match Hashtbl.find_opt seen k with
+                        | Some first ->
+                            Gpo_obs.Counter.incr c_deduped;
+                            Dup first
+                        | None ->
+                            Hashtbl.add seen k i;
+                            Unique p))
+                  batch
+                |> Array.of_list
+              in
+              let uniques =
+                Array.to_list slots
+                |> List.filter_map (function Unique p -> Some p | _ -> None)
+              in
+              let executed = Par.Pool.map t.pool execute uniques in
+              (* Replay the workers' captured events to the shared sink
+                 in batch order, so --metrics-out/--trace-out streams
+                 stay coherent. *)
+              List.iter
+                (fun (_, events) -> Gpo_obs.Scoped.replay events)
+                executed;
+              let by_index : (int, Protocol.job_result) Hashtbl.t =
+                Hashtbl.create 16
+              in
+              List.iter2
+                (fun (p : prepared) (result, _) ->
+                  let i =
+                    Hashtbl.find seen (Harness.Result_cache.render p.key)
+                  in
+                  Hashtbl.replace by_index i result)
+                uniques executed;
+              let results =
+                Array.to_list
+                  (Array.mapi
+                     (fun i slot ->
+                       match slot with
+                       | Immediate r -> r
+                       | Unique _ -> Hashtbl.find by_index i
+                       | Dup first ->
+                           let src = Hashtbl.find by_index first in
+                           let id =
+                             match slots.(i) with
+                             | Dup _ -> (
+                                 match List.nth_opt batch i with
+                                 | Some j when j.Protocol.id <> "" ->
+                                     j.Protocol.id
+                                 | _ -> Printf.sprintf "job-%d" i)
+                             | _ -> assert false
+                           in
+                           {
+                             src with
+                             Protocol.id;
+                             deduped = true;
+                             metrics = Gpo_obs.summarize_events [];
+                           })
+                     slots)
+              in
+              Protocol.Results results))

@@ -1,0 +1,121 @@
+module J = Gpo_obs.Json
+
+type endpoint = Unix_path of string | Tcp of { host : string; port : int }
+
+let pp_endpoint ppf = function
+  | Unix_path path -> Format.fprintf ppf "unix:%s" path
+  | Tcp { host; port } -> Format.fprintf ppf "tcp:%s:%d" host port
+
+let c_connections = Gpo_obs.Counter.make "serve.connections"
+let c_requests = Gpo_obs.Counter.make "serve.requests"
+
+let listen_fd = function
+  | Unix_path path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16;
+      (fd, Unix_path path)
+  | Tcp { host; port } ->
+      let addr =
+        if host = "" || host = "localhost" then Unix.inet_addr_loopback
+        else
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 16;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Tcp { host; port = bound })
+
+let stats_json sched =
+  J.Obj
+    [
+      ( "cache",
+        J.Obj
+          [
+            ("size", J.Int (Harness.Result_cache.size ()));
+            ("generation", J.Int (Harness.Result_cache.generation ()));
+          ] );
+      ( "queue",
+        J.Obj
+          [
+            ("depth", J.Int (Scheduler.depth sched));
+            ("limit", J.Int (Scheduler.queue_limit sched));
+            ("pool_jobs", J.Int (Scheduler.pool_jobs sched));
+          ] );
+      ("metrics", Gpo_obs.json_of_snapshot (Gpo_obs.snapshot ()));
+    ]
+
+let serve ?(jobs = 1) ?(queue_limit = 64) ?max_requests
+    ?(on_ready = fun (_ : endpoint) -> ()) endpoint =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* Scoped per-request capture only records when a sink is installed;
+     give the process a sink of last resort so request metrics work
+     even without --metrics-out/--trace-out. *)
+  let own_sink = not (Gpo_obs.enabled ()) in
+  if own_sink then Gpo_obs.install Gpo_obs.null_sink;
+  let sched = Scheduler.create ~jobs ~queue_limit () in
+  let lfd, bound = listen_fd endpoint in
+  let requests = ref 0 in
+  let stop = ref false in
+  let handle fd =
+    Gpo_obs.Counter.incr c_connections;
+    let rec loop () =
+      if !stop then ()
+      else
+        match Protocol.recv fd with
+        | None -> ()
+        | Some payload ->
+            incr requests;
+            Gpo_obs.Counter.incr c_requests;
+            let response =
+              match payload with
+              | Error msg -> Protocol.Error ("bad json: " ^ msg)
+              | Ok json -> (
+                  match Protocol.request_of_json json with
+                  | Error msg -> Protocol.Error msg
+                  | Ok Protocol.Ping -> Protocol.Pong
+                  | Ok Protocol.Stats -> Protocol.Stats_reply (stats_json sched)
+                  | Ok Protocol.Shutdown ->
+                      stop := true;
+                      Protocol.Bye
+                  | Ok (Protocol.Submit jobs) -> Scheduler.submit sched jobs)
+            in
+            Protocol.send fd (Protocol.json_of_response response);
+            (match max_requests with
+            | Some n when !requests >= n -> stop := true
+            | _ -> ());
+            loop ()
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (* A torn frame or a peer that vanished mid-write kills this
+           connection, not the server. *)
+        try loop ()
+        with Failure _ | Unix.Unix_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (match bound with
+      | Unix_path path -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ());
+      Scheduler.shutdown sched;
+      if own_sink then Gpo_obs.uninstall ())
+    (fun () ->
+      on_ready bound;
+      while not !stop do
+        match Unix.accept lfd with
+        | fd, _ -> handle fd
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)

@@ -1,0 +1,39 @@
+(** The warm-state verification daemon.
+
+    One server process owns one {!Scheduler} — one worker pool, one
+    result cache, one set of interned-universe tables — and answers
+    {!Protocol} requests over a listening socket, connection by
+    connection.  Because the process outlives the requests, the second
+    identical question costs a cache lookup plus a witness replay
+    instead of a state-space exploration.
+
+    The accept loop is sequential (one connection at a time); the
+    parallelism lives {e inside} a batch, where jobs fan out over the
+    scheduler's pool.  Clients that want concurrent batches open one
+    connection each and the admission bound arbitrates. *)
+
+type endpoint =
+  | Unix_path of string  (** Unix-domain stream socket at this path. *)
+  | Tcp of { host : string; port : int }
+      (** TCP socket; [port] 0 lets the OS pick (the bound port is
+          reported through [on_ready]). *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+val serve :
+  ?jobs:int ->
+  ?queue_limit:int ->
+  ?max_requests:int ->
+  ?on_ready:(endpoint -> unit) ->
+  endpoint ->
+  unit
+(** Run the daemon until a [Shutdown] request (or [max_requests]
+    processed frames — used by tests and the CI smoke to bound the
+    run).  [jobs]/[queue_limit] configure the {!Scheduler}.  [on_ready]
+    fires once the socket is listening, with the {e actual} endpoint
+    (TCP port resolved).  Installs {!Gpo_obs.null_sink} for the
+    process lifetime when no sink is active, so scoped per-request
+    capture works without global observability flags; SIGPIPE is
+    ignored so a client hangup surfaces as [EPIPE] on the write and
+    closes that connection only.  The Unix socket path is unlinked on
+    exit. *)

@@ -222,6 +222,52 @@ expect 2 "malformed net file is a usage error" -- analyze -f "$badnet"
 expect_out "line 2" "parse error carries its location"
 rm -f "$badnet"
 
+# --- verification service: julie serve / julie submit -----------------
+
+sock="$(mktemp -u).sock"
+"$JULIE" serve --socket "$sock" --queue-limit 4 >/dev/null 2>&1 &
+serve_pid=$!
+
+ready=0
+for _ in $(seq 1 100); do
+  if "$JULIE" submit --socket "$sock" --ping >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.05
+done
+if [ "$ready" -ne 1 ]; then
+  echo "FAIL: julie serve did not come up on $sock"
+  failures=$((failures + 1))
+else
+  expect 1 "served NSDP verdict follows the exit contract" -- \
+    submit --socket "$sock" -m nsdp -n 3
+  expect_out "VIOLATED" "submit reports the violation"
+  expect_out "certified" "the served witness is certified"
+  expect 1 "the repeated query is a cache hit" -- \
+    submit --socket "$sock" -m nsdp -n 3
+  expect_out "cached" "the repeat is served from the result cache"
+  expect_out "certified" "the cached witness re-certified on the hit"
+  expect 0 "served clean verdict exits 0" -- submit --socket "$sock" -m over -n 3
+  expect 1 "in-batch duplicates are deduped" -- \
+    submit --socket "$sock" -m fig2 -n 5 --repeat 3
+  expect_out "deduped" "dedupe is reported per job"
+  expect 2 "an oversized batch is rejected whole" -- \
+    submit --socket "$sock" -m fig2 -n 5 --repeat 5
+  expect_out "queue_full" "the typed reject names its reason"
+  expect 2 "served truncated clean run is inconclusive" -- \
+    submit --socket "$sock" -m asat -n 4 -e full --max-states 50
+  expect 2 "an unknown model fails that job only" -- \
+    submit --socket "$sock" -m no-such-model
+  expect 0 "submit --stats returns the cache stats" -- \
+    submit --socket "$sock" --stats
+  expect_out "serve.cache.hit" "stats carry the cache counters"
+  expect 0 "submit --shutdown stops the daemon" -- \
+    submit --socket "$sock" --shutdown
+fi
+wait "$serve_pid" 2>/dev/null
+rm -f "$sock"
+
 echo
 if [ "$failures" -gt 0 ]; then
   echo "$failures CLI check(s) failed"

@@ -32,5 +32,6 @@ let () =
       ("deep-obs", Test_deep_obs.suite);
       ("bench-compare", Test_bench_compare.suite);
       ("par", Test_par.suite);
+      ("serve", Test_serve.suite);
       ("chaos", Test_chaos.suite);
     ]

@@ -53,6 +53,13 @@ let metric_table =
     ("cold_s", time_like);
     ("warm_s", time_like);
     ("hit_s", time_like);
+    (* Per-store journal costs are microseconds; the default 5 ms floor
+       would never let them regress.  The in-memory store is tens of
+       nanoseconds — below any stable floor — so its wider floor keeps
+       it advisory while the journaled store stays enforceable. *)
+    ("mem_store_s", { time_like with abs_floor = 2e-6 });
+    ("journal_store_s", { time_like with abs_floor = 5e-6 });
+    ("recovery_s", time_like);
     ("overhead_pct", { dir = Lower_better; abs_floor = 0.0; absolute = true });
     ("speedup", { dir = Higher_better; abs_floor = 0.05; absolute = false });
     ("jobs_per_s", { dir = Higher_better; abs_floor = 0.5; absolute = false });

@@ -9,6 +9,8 @@
      dune exec bench/main.exe scaling    # multicore speedup + portfolio
      dune exec bench/main.exe guard      # resource-guard polling overhead
      dune exec bench/main.exe reduce     # structural reduction ratio/speedup
+     dune exec bench/main.exe serve      # warm-state service latency
+     dune exec bench/main.exe persist    # journal overhead + recovery
      dune exec bench/main.exe micro      # Bechamel micro-benchmarks *)
 
 let section title =
@@ -845,6 +847,135 @@ let serve_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Persistence: what the crash-safe journal costs.  [mem_store_s] is
+   the per-store cost of the in-memory cache alone; [journal_store_s]
+   adds the checksummed append (with a channel flush) that makes the
+   entry survive kill -9; [recovery_s] is the cold-start price — read
+   a dup-heavy journal, re-certify every admitted witness by replay,
+   and compact the file down to the live set.                          *)
+
+let persist_bench () =
+  let module J = Gpo_obs.Json in
+  section "Persist — journal append overhead per store, cold-start recovery";
+  let own_sink = not (Gpo_obs.enabled ()) in
+  if own_sink then Gpo_obs.install Gpo_obs.null_sink;
+  Fun.protect ~finally:(fun () -> if own_sink then Gpo_obs.uninstall ())
+  @@ fun () ->
+  let sizes = if smoke then [ 3; 4; 5; 6 ] else [ 4; 5; 6; 7; 8; 9; 10; 11 ] in
+  let rounds = if smoke then 3 else 8 in
+  let entries =
+    List.map
+      (fun n ->
+        let net = Models.Figures.fig2 n in
+        let text = Petri.Parser.to_string net in
+        let o =
+          Harness.Engine.run ~witness:true ~gpo_scan:true Harness.Engine.Gpo net
+        in
+        assert (o.Harness.Engine.stop = Guard.Completed);
+        let k =
+          Harness.Result_cache.key
+            ~digest:(Petri.Net.digest net)
+            ~engine:"gpo" ~max_states:1_000_000 ~witness:true ~gpo_scan:true
+            ~reduce:false ()
+        in
+        (k, text, o))
+      sizes
+  in
+  let n = List.length entries in
+  (* A single store is sub-microsecond in memory — batch [inner]
+     passes per timed round so the clock resolves both sides. *)
+  let inner = if smoke then 20 else 50 in
+  let store_all () =
+    for _ = 1 to inner do
+      (* Invalidate first so every store is a real store, not a no-op
+         on an already-filled table. *)
+      Harness.Result_cache.invalidate ();
+      List.iter
+        (fun (k, text, o) ->
+          ignore (Harness.Result_cache.store ~net_text:text k o : bool))
+        entries
+    done
+  in
+  Harness.Result_cache.detach ();
+  let mem = ref infinity in
+  for _ = 1 to rounds do
+    let (), t = time store_all in
+    mem := Float.min !mem t
+  done;
+  (* Journaled: the same stores with the append on the hot path.  The
+     rounds leave a dup-heavy journal behind — the file shape a
+     long-lived daemon accumulates — which then feeds the recovery
+     measurement. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "julie-bench-persist-%d" (Unix.getpid ()))
+  in
+  (match Harness.Result_cache.attach dir with
+  | Ok _ -> ()
+  | Error msg -> failwith ("persist bench: " ^ msg));
+  let jn = ref infinity in
+  for _ = 1 to rounds do
+    let (), t = time store_all in
+    jn := Float.min !jn t
+  done;
+  Harness.Result_cache.flush_journal ();
+  let journal_path = Filename.concat dir "results.journal" in
+  let journal_bytes = (Unix.stat journal_path).Unix.st_size in
+  Harness.Result_cache.detach ();
+  (* Cold start: recover the dup-heavy journal into an empty cache.
+     Every admitted record re-parses its net, checks its digest and
+     replays its witness through certification; duplicates resolve
+     last-writer-wins and trigger the compaction rewrite. *)
+  Harness.Result_cache.invalidate ();
+  let recovery, recovery_s =
+    time (fun () ->
+        match Harness.Result_cache.attach dir with
+        | Ok r -> r
+        | Error msg -> failwith ("persist bench: " ^ msg))
+  in
+  Harness.Result_cache.detach ();
+  Harness.Result_cache.invalidate ();
+  (try Sys.remove journal_path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let mem_store_s = !mem /. float_of_int (inner * n) in
+  let journal_store_s = !jn /. float_of_int (inner * n) in
+  let overhead_pct = (journal_store_s -. mem_store_s) /. mem_store_s *. 100. in
+  Format.printf "%-8s %13s %15s %10s@." "entries" "mem-store" "journal-store"
+    "overhead";
+  Format.printf "%-8d %11.2fus %13.2fus %9.0f%%@.@." n (mem_store_s *. 1e6)
+    (journal_store_s *. 1e6) overhead_pct;
+  Format.printf
+    "cold-start recovery: %d entr%s admitted (%d rejected) from a %d-byte@.\
+     journal of %d records in %.4fs%s@."
+    recovery.Harness.Result_cache.recovered
+    (if recovery.Harness.Result_cache.recovered = 1 then "y" else "ies")
+    recovery.Harness.Result_cache.rejected journal_bytes
+    ((rounds * inner * n) + 1)
+    recovery_s
+    (if recovery.Harness.Result_cache.compacted then " (compacted)" else "");
+  write_report "persist"
+    (J.Obj
+       [
+         ("table", J.String "persist");
+         ("smoke", J.Bool smoke);
+         ("journal_bytes", J.Int journal_bytes);
+         ("recovered", J.Int recovery.Harness.Result_cache.recovered);
+         ("rejected", J.Int recovery.Harness.Result_cache.rejected);
+         ( "rows",
+           J.List
+             [
+               J.Obj
+                 [
+                   ("entries", J.Int n);
+                   ("rounds", J.Int rounds);
+                   ("mem_store_s", J.Float mem_store_s);
+                   ("journal_store_s", J.Float journal_store_s);
+                   ("recovery_s", J.Float recovery_s);
+                 ];
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs =
@@ -853,7 +984,7 @@ let () =
     | _ ->
         [
           "table1"; "fig1"; "fig2"; "ablation"; "scaling"; "guard"; "reduce";
-          "serve"; "micro";
+          "serve"; "persist"; "micro";
         ]
   in
   List.iter
@@ -866,11 +997,12 @@ let () =
       | "guard" -> guard_overhead ()
       | "reduce" -> reduce_bench ()
       | "serve" -> serve_bench ()
+      | "persist" -> persist_bench ()
       | "micro" -> micro ()
       | other ->
           Format.eprintf
             "unknown job %S (expected table1, fig1, fig2, ablation, scaling, \
-             guard, reduce, serve, micro)@."
+             guard, reduce, serve, persist, micro)@."
             other;
           exit 2)
     jobs

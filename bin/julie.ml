@@ -741,12 +741,25 @@ let host_arg =
   Arg.(value & opt string "localhost" & info [ "host" ] ~docv:"HOST"
          ~doc:"Host for $(b,--port) (default localhost).")
 
-let serve socket port host jobs queue_limit max_requests obs =
+let serve socket port host jobs queue_limit max_requests cache_dir io_timeout_s
+    obs =
   usage_checked @@ fun () ->
   let endpoint = endpoint_of socket port host in
   with_obs obs @@ fun () ->
-  Serve.Server.serve ~jobs ~queue_limit ?max_requests
+  Serve.Server.serve ~jobs ~queue_limit ?max_requests ?cache_dir ~io_timeout_s
     ~on_ready:(fun ep ->
+      (match Harness.Result_cache.last_recovery () with
+      | Some r ->
+          Format.printf
+            "julie: cache recovered %d entr%s (%d rejected, %d invalidated, \
+             %d torn bytes%s)@."
+            r.Harness.Result_cache.recovered
+            (if r.Harness.Result_cache.recovered = 1 then "y" else "ies")
+            r.Harness.Result_cache.rejected
+            r.Harness.Result_cache.invalidated
+            r.Harness.Result_cache.torn_bytes
+            (if r.Harness.Result_cache.compacted then ", compacted" else "")
+      | None -> ());
       Format.printf "julie: listening on %a@." Serve.Server.pp_endpoint ep;
       Format.print_flush ())
     endpoint;
@@ -763,6 +776,22 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
            ~doc:"Stop after $(docv) processed requests (tests and CI smoke).")
   in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist the result cache as an append-only checksummed \
+                 journal under $(docv) (created if missing).  On startup the \
+                 journal is recovered: torn tails are truncated at the first \
+                 bad checksum, and every entry is re-admitted only after its \
+                 witness re-certifies by replay — a restarted server serves \
+                 byte-identical cached verdicts, never corrupt ones.")
+  in
+  let io_timeout_s =
+    Arg.(value & opt float 30. & info [ "io-timeout-s" ] ~docv:"SECONDS"
+           ~doc:"Per-connection read/write deadline: a client that stalls \
+                 mid-frame or stops reading gets a typed timed_out reply and \
+                 its socket closed instead of blocking the accept loop \
+                 (<= 0 disables; default 30).")
+  in
   let info =
     Cmd.info "serve"
       ~doc:"Run the warm-state verification daemon.  The process keeps the \
@@ -771,11 +800,12 @@ let serve_cmd =
             repeated questions are answered from cache (after their witness \
             re-certifies by replay) instead of re-explored.  One \
             length-prefixed JSON frame per request/response; stop it with \
-            $(b,julie submit --shutdown)."
+            $(b,julie submit --shutdown) or a SIGTERM (graceful drain: stop \
+            accepting, finish in-flight work, flush the journal, exit 0)."
   in
   Cmd.v info
     Term.(const serve $ socket_arg $ port_arg $ host_arg $ jobs_arg
-          $ queue_limit $ max_requests $ obs_term)
+          $ queue_limit $ max_requests $ cache_dir $ io_timeout_s $ obs_term)
 
 let jobs_of_batch_text text =
   let job_of item =
@@ -799,34 +829,36 @@ let describe_verdict = function
   | Stdlib.Error msg -> "failed: " ^ msg
 
 let submit socket port host file builtin size cover engine max_states jobs
-    witness reduce timeout mem_mb repeat batch json_out ping stats shutdown =
+    witness reduce timeout mem_mb repeat batch json_out retries backoff_ms ping
+    stats shutdown =
   usage_checked @@ fun () ->
   let endpoint = endpoint_of socket port host in
   let fail msg =
     Format.eprintf "julie: %s@." msg;
     exit_usage
   in
+  let failc f = fail (Serve.Client.describe_failure f) in
   if ping then
     match Serve.Client.ping endpoint with
     | Ok Serve.Protocol.Pong ->
         Format.printf "pong@.";
         exit_holds
     | Ok _ -> fail "unexpected reply to ping"
-    | Error msg -> fail msg
+    | Error f -> failc f
   else if stats then
     match Serve.Client.stats endpoint with
     | Ok (Serve.Protocol.Stats_reply stats) ->
         print_endline (Gpo_obs.Json.to_string stats);
         exit_holds
     | Ok _ -> fail "unexpected reply to stats"
-    | Error msg -> fail msg
+    | Error f -> failc f
   else if shutdown then
     match Serve.Client.shutdown endpoint with
     | Ok Serve.Protocol.Bye ->
         Format.printf "server stopped@.";
         exit_holds
     | Ok _ -> fail "unexpected reply to shutdown"
-    | Error msg -> fail msg
+    | Error f -> failc f
   else
     let batch_jobs =
       match batch with
@@ -850,8 +882,8 @@ let submit socket port host file builtin size cover engine max_states jobs
           in
           List.init (max 1 repeat) (fun _ -> j)
     in
-    match Serve.Client.submit endpoint batch_jobs with
-    | Error msg -> fail msg
+    match Serve.Client.submit ~retries ~backoff_ms endpoint batch_jobs with
+    | Error f -> failc f
     | Ok (Serve.Protocol.Rejected r) ->
         Format.eprintf "julie: rejected: %s (limit %d, depth %d, batch %d)@."
           r.Serve.Protocol.reason r.limit r.depth r.batch;
@@ -915,6 +947,18 @@ let submit_cmd =
     Arg.(value & flag & info [ "json" ]
            ~doc:"Print the raw JSON response instead of one line per job.")
   in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry a transient failure (connection refused, i/o \
+                 timeout, typed queue_full rejection) up to $(docv) times \
+                 with exponential backoff and full jitter.  Safe: jobs are \
+                 idempotent content-addressed questions.  Default 0.")
+  in
+  let backoff_ms =
+    Arg.(value & opt int 50 & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base backoff for $(b,--retries): attempt k sleeps uniformly \
+                 in [0, $(docv)*2^k] milliseconds (ceiling 10s).")
+  in
   let witness =
     Arg.(value & opt bool true & info [ "witness" ] ~docv:"BOOL"
            ~doc:"Ask for (and certify) counterexample witnesses (default \
@@ -943,7 +987,7 @@ let submit_cmd =
     Term.(const submit $ socket_arg $ port_arg $ host_arg $ file_arg $ model_arg
           $ size_arg $ cover $ engine $ max_states_arg $ jobs_arg $ witness
           $ reduce_term $ timeout_arg $ mem_mb_arg $ repeat $ batch $ json_out
-          $ ping $ stats $ shutdown)
+          $ retries $ backoff_ms $ ping $ stats $ shutdown)
 
 (* ------------------------------------------------------------------ *)
 (* siphons                                                             *)

@@ -14,6 +14,21 @@ let string_of_stop = function
   | Cancelled -> "cancelled"
   | Crashed msg -> "crashed: " ^ msg
 
+let stop_of_string = function
+  | "completed" -> Some Completed
+  | "state_budget" -> Some State_budget
+  | "deadline" -> Some Deadline
+  | "memory" -> Some Memory
+  | "cancelled" -> Some Cancelled
+  | s ->
+      let prefix = "crashed: " in
+      if String.starts_with ~prefix s then
+        Some
+          (Crashed
+             (String.sub s (String.length prefix)
+                (String.length s - String.length prefix)))
+      else None
+
 let describe_stop = function
   | Completed -> "completed"
   | State_budget -> "state budget exhausted"

@@ -38,6 +38,10 @@ val string_of_stop : stop_reason -> string
 (** Stable machine-readable tag: ["completed"], ["state_budget"],
     ["deadline"], ["memory"], ["cancelled"], ["crashed: <msg>"]. *)
 
+val stop_of_string : string -> stop_reason option
+(** Inverse of {!string_of_stop} — used by the persistent result-cache
+    journal to decode recovered outcomes.  [None] on an unknown tag. *)
+
 val describe_stop : stop_reason -> string
 (** Human-readable phrase for messages ("wall-clock deadline
     exceeded", ...). *)

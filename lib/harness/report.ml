@@ -22,6 +22,61 @@ let json_of_outcome (o : Engine.outcome) =
         | Some trace -> J.List (List.map (fun t -> J.Int t) trace) );
     ]
 
+let outcome_of_json json =
+  let ( let* ) = Result.bind in
+  let str name =
+    match J.member name json with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "outcome: field %S: expected string" name)
+  in
+  let flt name =
+    match J.member name json with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | Some J.Null -> Ok Float.nan
+    | _ -> Error (Printf.sprintf "outcome: field %S: expected number" name)
+  in
+  let bool_ name =
+    match J.member name json with
+    | Some (J.Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "outcome: field %S: expected bool" name)
+  in
+  let* engine = str "engine" in
+  let* kind =
+    match
+      List.find_opt (fun k -> Engine.name k = engine) Engine.all
+    with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "outcome: unknown engine %S" engine)
+  in
+  let* states = flt "states" in
+  let* metric = flt "metric" in
+  let* deadlock = bool_ "deadlock" in
+  let* time_s = flt "time_s" in
+  let* stop_tag = str "stop_reason" in
+  let* stop =
+    match Guard.stop_of_string stop_tag with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "outcome: unknown stop reason %S" stop_tag)
+  in
+  let* witness =
+    match J.member "witness" json with
+    | None | Some J.Null -> Ok None
+    | Some (J.List items) ->
+        let* steps =
+          List.fold_right
+            (fun item acc ->
+              let* acc = acc in
+              match item with
+              | J.Int t -> Ok (t :: acc)
+              | _ -> Error "outcome: witness steps must be ints")
+            items (Ok [])
+        in
+        Ok (Some steps)
+    | Some _ -> Error "outcome: witness: expected a list of ints"
+  in
+  Ok { Engine.kind; states; metric; deadlock; time_s; stop; witness }
+
 let json_of_paper_row (p : Experiment.paper_row) =
   J.Obj
     [

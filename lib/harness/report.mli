@@ -9,6 +9,12 @@ val json_of_outcome : Engine.outcome -> Gpo_obs.Json.t
 (** [{"engine":…,"states":…,"metric":…,"deadlock":…,"time_s":…,
      "truncated":…}]. *)
 
+val outcome_of_json : Gpo_obs.Json.t -> (Engine.outcome, string) result
+(** Inverse of {!json_of_outcome} (the redundant ["truncated"] flag is
+    ignored; [null] numbers come back as [nan]).  The persistent result
+    cache decodes journal records through this — a record whose outcome
+    does not decode is rejected, never guessed at. *)
+
 val json_of_paper_row : Experiment.paper_row -> Gpo_obs.Json.t
 (** The paper's reference numbers for one Table 1 row. *)
 

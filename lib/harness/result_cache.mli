@@ -29,9 +29,28 @@
     (counted by [serve.cache.evicted]), so [--mem-mb] trips and genuine
     [Out_of_memory] recovery reach the result cache too.
 
+    Persistence ({!attach}): an opt-in append-only journal (one file,
+    [results.journal], under the attach directory) built on {!Journal}.
+    Every store of an entry that carries its net text appends one
+    record; recovery on attach re-admits only records that decode,
+    whose net text hashes to the digest embedded in their key, and
+    whose witness still re-certifies by replay — "nothing is served
+    that would not re-certify".  A torn tail (kill -9 mid-append) is
+    dropped at the first bad checksum; a semantics-version mismatch in
+    the journal header invalidates the file wholesale; duplicates
+    resolve last-writer-wins.  Whenever recovery dropped anything the
+    file is immediately compacted to exactly the admitted set.
+    Journaling is best-effort: an I/O failure (or injected fault at
+    the ["journal.append"] / ["journal.flush"] / ["journal.compact"]
+    probe sites) counts [serve.journal.errors] and the in-memory store
+    still succeeds.
+
     Telemetry: [serve.cache.hit] / [serve.cache.miss] /
     [serve.cache.store] / [serve.cache.evicted] counters and the
-    [serve.cache.size] gauge. *)
+    [serve.cache.size] gauge; persistence adds [serve.recovered],
+    [serve.recovery.rejected], [serve.journal.appends],
+    [serve.journal.errors], [serve.journal.compactions] and the
+    [serve.journal.bytes] gauge. *)
 
 val semantics_version : string
 (** The engine-semantics stamp baked into every key.  Bump it whenever
@@ -72,10 +91,14 @@ val find : ?verify_net:Petri.Net.t -> key -> Engine.outcome option
     witness no longer certifies is evicted and misses.  Counts
     [serve.cache.hit] / [serve.cache.miss]. *)
 
-val store : key -> Engine.outcome -> bool
+val store : ?net_text:string -> key -> Engine.outcome -> bool
 (** Cache a finished outcome.  Returns [false] — and stores nothing —
     when [outcome.stop <> Completed]: partial results never poison the
-    cache.  Counts [serve.cache.store]. *)
+    cache.  Counts [serve.cache.store].  [net_text] is the canonical
+    rendering ({!Petri.Parser.to_string}) of the net the outcome talks
+    about; when present and a journal is attached the entry is also
+    appended to disk (entries without it stay memory-only — they could
+    never be re-certified on recovery). *)
 
 val invalidate : unit -> unit
 (** Bump the generation and sweep every entry (each counted by
@@ -91,3 +114,43 @@ val size : unit -> int
 val entries : unit -> (string * Engine.outcome) list
 (** Rendered key and outcome of every live entry (test introspection:
     the chaos suite asserts no non-[Completed] entry ever appears). *)
+
+(** {1 Persistence} *)
+
+type recovery = {
+  recovered : int;  (** Entries re-admitted after passing every gate. *)
+  rejected : int;
+      (** Records that decoded as frames but failed admission: partial
+          outcomes, digest mismatches, witnesses that no longer
+          certify, undecodable payloads. *)
+  invalidated : int;
+      (** Entries dropped wholesale on a header/semantics mismatch. *)
+  torn_bytes : int;  (** Bytes discarded from a torn tail. *)
+  compacted : bool;  (** The file was rewritten to the admitted set. *)
+}
+
+val attach : ?compact_bytes:int -> string -> (recovery, string) result
+(** [attach dir] opens (creating if needed) [dir/results.journal],
+    recovers it into the in-memory table (in-memory entries stored by
+    this process win over the disk copy), and starts journaling every
+    subsequent {!store} that carries a net text.  [compact_bytes]
+    (default 8 MiB) is the file-size threshold that triggers an
+    in-place compaction to the live entry set.  Errors (unwritable
+    directory, ...) are returned, never raised. *)
+
+val detach : unit -> unit
+(** Close the journal and stop persisting.  Idempotent. *)
+
+val attached : unit -> bool
+
+val flush_journal : unit -> unit
+(** {!Journal.sync} the journal (fsync barrier) — the graceful-drain
+    hook.  No-op when detached or after a dropped writer. *)
+
+val last_recovery : unit -> recovery option
+(** The report of the most recent {!attach}, for [--stats] and the
+    startup banner. *)
+
+val journal_stats : unit -> Gpo_obs.Json.t
+(** [{"attached":…,"path":…,"bytes":…,"recovery":…}] for the server's
+    stats endpoint. *)

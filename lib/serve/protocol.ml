@@ -40,6 +40,7 @@ type response =
   | Pong
   | Stats_reply of J.t
   | Bye
+  | Timed_out
   | Error of string
 
 type verdict = Holds | Violated | Inconclusive
@@ -247,6 +248,7 @@ let json_of_response = function
   | Pong -> J.Obj [ ("ok", J.Bool true); ("pong", J.Bool true) ]
   | Stats_reply stats -> J.Obj [ ("ok", J.Bool true); ("stats", stats) ]
   | Bye -> J.Obj [ ("ok", J.Bool true); ("bye", J.Bool true) ]
+  | Timed_out -> J.Obj [ ("ok", J.Bool false); ("timed_out", J.Bool true) ]
   | Error msg -> J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ]
 
 let response_of_json json =
@@ -269,31 +271,70 @@ let response_of_json json =
     | None, None, None, Some (J.Bool true) -> Stdlib.Ok Bye
     | _ -> Stdlib.Error "ok response without results/pong/stats/bye"
   else
-    match (J.member "reject" json, J.member "error" json) with
-    | Some rj, _ ->
+    match
+      (J.member "reject" json, J.member "error" json,
+       J.member "timed_out" json)
+    with
+    | Some rj, _, _ ->
         let* reason = string_field "reason" rj in
         let* limit = int_field "limit" rj in
         let* depth = int_field "depth" rj in
         let* batch = int_field "batch" rj in
         Stdlib.Ok (Rejected { reason; limit; depth; batch })
-    | None, Some (J.String msg) -> Stdlib.Ok (Error msg)
-    | _ -> Stdlib.Error "error response without reject/error"
+    | None, Some (J.String msg), _ -> Stdlib.Ok (Error msg)
+    | None, None, Some (J.Bool true) -> Stdlib.Ok Timed_out
+    | _ -> Stdlib.Error "error response without reject/error/timed_out"
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
 
 let max_frame = 1 lsl 26
 
+type frame_error =
+  | Frame_timeout
+  | Frame_oversized of int
+  | Frame_truncated of string
+
+let describe_frame_error = function
+  | Frame_timeout -> "i/o timeout"
+  | Frame_oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | Frame_truncated what -> "truncated " ^ what
+
+exception Frame of frame_error
+
+let () =
+  Printexc.register_printer (function
+    | Frame e -> Some ("Protocol.Frame(" ^ describe_frame_error e ^ ")")
+    | _ -> None)
+
+(* SO_RCVTIMEO/SO_SNDTIMEO expiry surfaces as EAGAIN (or EWOULDBLOCK /
+   ETIMEDOUT depending on the OS) from the blocking call. *)
+let timeout_errno = function
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT -> true
+  | _ -> false
+
+let set_timeouts fd seconds =
+  (* Best-effort: some socket-like fds (socketpairs on exotic
+     platforms) may refuse; a missing timeout degrades to the old
+     blocking behaviour, never to an error. *)
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 let rec write_all fd bytes off len =
   if len > 0 then begin
-    let n = Unix.write fd bytes off len in
+    let n =
+      try Unix.write fd bytes off len
+      with Unix.Unix_error (err, _, _) when timeout_errno err ->
+        raise (Frame Frame_timeout)
+    in
     write_all fd bytes (off + n) (len - n)
   end
 
 let write_frame fd payload =
   let len = String.length payload in
-  if len > max_frame then
-    failwith (Printf.sprintf "frame too large (%d bytes)" len);
+  if len > max_frame then raise (Frame (Frame_oversized len));
   let header = Bytes.create 4 in
   Bytes.set_uint8 header 0 (len lsr 24 land 0xFF);
   Bytes.set_uint8 header 1 (len lsr 16 land 0xFF);
@@ -303,7 +344,9 @@ let write_frame fd payload =
   write_all fd (Bytes.unsafe_of_string payload) 0 len
 
 (* Read exactly [len] bytes; [`Eof n] reports how many arrived before
-   the peer closed. *)
+   the peer closed.  A receive-timeout expiry raises [Frame
+   Frame_timeout] — a peer that stalls mid-frame is indistinguishable
+   from one that never finishes, and the caller must not wait forever. *)
 let read_exact fd len =
   let buf = Bytes.create len in
   let rec go off =
@@ -312,29 +355,35 @@ let read_exact fd len =
       match Unix.read fd buf off (len - off) with
       | 0 -> `Eof off
       | n -> go (off + n)
+      | exception Unix.Unix_error (err, _, _) when timeout_errno err ->
+          raise (Frame Frame_timeout)
   in
   go 0
 
+type 'a incoming = Payload of 'a | Eof | Bad of frame_error
+
 let read_frame fd =
   match read_exact fd 4 with
-  | `Eof 0 -> None
-  | `Eof _ -> failwith "truncated frame header"
-  | `Ok header ->
+  | `Eof 0 -> Eof
+  | `Eof _ -> Bad (Frame_truncated "frame header")
+  | `Ok header -> (
       let len =
         (Bytes.get_uint8 header 0 lsl 24)
         lor (Bytes.get_uint8 header 1 lsl 16)
         lor (Bytes.get_uint8 header 2 lsl 8)
         lor Bytes.get_uint8 header 3
       in
-      if len > max_frame then
-        failwith (Printf.sprintf "oversized frame (%d bytes)" len);
-      (match read_exact fd len with
-      | `Eof _ -> failwith "truncated frame payload"
-      | `Ok payload -> Some (Bytes.unsafe_to_string payload))
+      if len > max_frame then Bad (Frame_oversized len)
+      else
+        match read_exact fd len with
+        | `Eof _ -> Bad (Frame_truncated "frame payload")
+        | `Ok payload -> Payload (Bytes.unsafe_to_string payload))
+  | exception Frame e -> Bad e
 
 let send fd json = write_frame fd (J.to_string json)
 
 let recv fd =
   match read_frame fd with
-  | None -> None
-  | Some payload -> Some (J.of_string payload)
+  | Eof -> Eof
+  | Bad e -> Bad e
+  | Payload payload -> Payload (J.of_string payload)

@@ -99,6 +99,10 @@ type response =
   | Pong
   | Stats_reply of Gpo_obs.Json.t
   | Bye
+  | Timed_out
+      (** The connection blew its per-I/O deadline (slow-loris or
+          stalled peer); the server sends this best-effort and closes
+          the socket.  Typed so clients can classify it as transient. *)
   | Error of string  (** Malformed request (protocol-level). *)
 
 type verdict = Holds | Violated | Inconclusive
@@ -126,15 +130,42 @@ val max_frame : int
 (** Refuse frames larger than this (64 MiB) — a corrupt length prefix
     must not turn into an unbounded allocation. *)
 
-val write_frame : Unix.file_descr -> string -> unit
-(** Write one length-prefixed frame, looping over partial writes. *)
+(** Typed framing failures — every way a peer can misbehave on the
+    wire, distinguished so the server can answer {!Timed_out} to a
+    stalled client but a plain [Error] to a malformed one, and so the
+    client retry policy can tell transient from fatal. *)
+type frame_error =
+  | Frame_timeout  (** SO_RCVTIMEO/SO_SNDTIMEO expired mid-I/O. *)
+  | Frame_oversized of int  (** Length prefix beyond {!max_frame}. *)
+  | Frame_truncated of string  (** EOF mid-header or mid-payload. *)
 
-val read_frame : Unix.file_descr -> string option
-(** Read one frame; [None] on a clean EOF before the first length
-    byte.  Raises [Failure] on a truncated or oversized frame. *)
+val describe_frame_error : frame_error -> string
+
+exception Frame of frame_error
+(** Raised by {!write_frame} (oversized payload, send timeout); read
+    paths return {!Bad} instead of raising. *)
+
+val set_timeouts : Unix.file_descr -> float -> unit
+(** Arm [SO_RCVTIMEO]/[SO_SNDTIMEO] (seconds) on a socket.
+    Best-effort: silently a no-op where unsupported. *)
+
+type 'a incoming =
+  | Payload of 'a
+  | Eof  (** Clean close before the first length byte. *)
+  | Bad of frame_error
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one length-prefixed frame, looping over partial writes.
+    Raises {!Frame} on an oversized payload or a send timeout. *)
+
+val read_frame : Unix.file_descr -> string incoming
+(** Read one frame.  Timeouts, oversized prefixes and truncation come
+    back as {!Bad} — after any of them frame synchronisation is lost
+    and the connection must be closed. *)
 
 val send : Unix.file_descr -> Gpo_obs.Json.t -> unit
 (** Render and {!write_frame}. *)
 
-val recv : Unix.file_descr -> (Gpo_obs.Json.t, string) result option
-(** {!read_frame} and parse; [None] on clean EOF. *)
+val recv : Unix.file_descr -> (Gpo_obs.Json.t, string) result incoming
+(** {!read_frame} and parse (a frame that arrives intact but holds
+    broken JSON is [Payload (Error _)] — the connection survives). *)

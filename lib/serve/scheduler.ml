@@ -9,6 +9,11 @@ type t = {
      batch gets in; this lock only decides *when* it runs.  A rejected
      batch never reaches it, so saturation answers immediately. *)
   run_lock : Mutex.t;
+  (* Tripped by a second drain signal: every in-flight single-engine
+     run polls it from its step loop and unwinds as [Cancelled], so a
+     hard drain returns within one poll interval instead of finishing
+     the batch.  One-way — the scheduler is shutting down. *)
+  drain : Par.Cancel.t;
 }
 
 let c_jobs = Gpo_obs.Counter.make "serve.jobs"
@@ -28,11 +33,13 @@ let create ?(jobs = 1) ?(queue_limit = 64) () =
     queue_limit;
     depth = Atomic.make 0;
     run_lock = Mutex.create ();
+    drain = Par.Cancel.create ();
   }
 
 let pool_jobs t = t.pool_jobs
 let queue_limit t = t.queue_limit
 let depth t = Atomic.get t.depth
+let cancel_inflight t = Par.Cancel.cancel t.drain
 let shutdown t = Par.Pool.shutdown t.pool
 
 (* ------------------------------------------------------------------ *)
@@ -134,14 +141,14 @@ let prepare (job : Protocol.job) =
 (* The verdict service always runs GPO in its hardened configuration
    (scan on): the verdict is the product, and the paper configuration
    can miss deadlocks. *)
-let run_engine (p : prepared) =
+let run_engine ?cancel (p : prepared) =
   let job = p.job in
   let jobs = if job.jobs <= 0 then Par.Pool.default_jobs () else job.jobs in
   match p.sel with
   | Single kind ->
       let body guard =
         Harness.Engine.run ~max_states:job.max_states ~witness:job.witness
-          ~gpo_scan:true ~reduce:job.reduce ~jobs ?guard kind p.target
+          ~gpo_scan:true ~reduce:job.reduce ~jobs ?cancel ?guard kind p.target
       in
       (match (job.timeout_s, job.mem_mb) with
       | None, None -> body None
@@ -149,6 +156,9 @@ let run_engine (p : prepared) =
           Guard.with_guard ?deadline_s:job.timeout_s ?mem_mb:job.mem_mb
             (fun g -> body (Some g)))
   | Portfolio ->
+      (* The portfolio owns its own cancel tokens (to stop the race
+         losers) and exposes no external one; a hard drain lets an
+         in-flight portfolio finish. *)
       (Harness.Portfolio.run ~max_states:job.max_states ~witness:job.witness
          ~gpo_scan:true ~reduce:job.reduce ~jobs ?deadline_s:job.timeout_s
          ?mem_mb:job.mem_mb p.target)
@@ -192,7 +202,7 @@ let failed_result id msg =
    folded into the per-request metrics; failures stay inside this job's
    result.  Faulted runs store nothing — the cache only ever holds
    [Completed] outcomes. *)
-let execute (p : prepared) =
+let execute ?cancel (p : prepared) =
   let result, events =
     Gpo_obs.Scoped.capture (fun () ->
         Gpo_obs.Span.time "serve.request" (fun () ->
@@ -203,8 +213,12 @@ let execute (p : prepared) =
               with
               | Some outcome -> ok_result p ~cached:true outcome
               | None ->
-                  let outcome = run_engine p in
-                  ignore (Harness.Result_cache.store p.key outcome : bool);
+                  let outcome = run_engine ?cancel p in
+                  ignore
+                    (Harness.Result_cache.store
+                       ~net_text:(Petri.Parser.to_string p.target)
+                       p.key outcome
+                      : bool);
                   ok_result p ~cached:false outcome
             with
             | Out_of_memory ->
@@ -282,7 +296,9 @@ let submit t (batch : Protocol.job list) =
                 Array.to_list slots
                 |> List.filter_map (function Unique p -> Some p | _ -> None)
               in
-              let executed = Par.Pool.map t.pool execute uniques in
+              let executed =
+                Par.Pool.map t.pool (execute ~cancel:t.drain) uniques
+              in
               (* Replay the workers' captured events to the shared sink
                  in batch order, so --metrics-out/--trace-out streams
                  stay coherent. *)

@@ -51,5 +51,11 @@ val submit : t -> Protocol.job list -> Protocol.response
     when admission control refuses it.  Never raises on job-level
     failures — they come back as [Failed] results. *)
 
+val cancel_inflight : t -> unit
+(** Trip the scheduler-wide drain token: every in-flight single-engine
+    run unwinds as [Cancelled] at its next step-loop poll, and the
+    batch returns with those jobs [Failed] (never cached).  One-way —
+    only for the hard phase of a graceful drain. *)
+
 val shutdown : t -> unit
 (** Join the worker pool.  The scheduler must be idle. *)

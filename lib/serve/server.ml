@@ -8,6 +8,8 @@ let pp_endpoint ppf = function
 
 let c_connections = Gpo_obs.Counter.make "serve.connections"
 let c_requests = Gpo_obs.Counter.make "serve.requests"
+let c_conn_timeouts = Gpo_obs.Counter.make "serve.conn.timeouts"
+let c_drain = Gpo_obs.Counter.make "serve.drain"
 
 let listen_fd = function
   | Unix_path path ->
@@ -50,11 +52,12 @@ let stats_json sched =
             ("limit", J.Int (Scheduler.queue_limit sched));
             ("pool_jobs", J.Int (Scheduler.pool_jobs sched));
           ] );
+      ("journal", Harness.Result_cache.journal_stats ());
       ("metrics", Gpo_obs.json_of_snapshot (Gpo_obs.snapshot ()));
     ]
 
-let serve ?(jobs = 1) ?(queue_limit = 64) ?max_requests
-    ?(on_ready = fun (_ : endpoint) -> ()) endpoint =
+let serve ?(jobs = 1) ?(queue_limit = 64) ?max_requests ?cache_dir
+    ?(io_timeout_s = 30.) ?(on_ready = fun (_ : endpoint) -> ()) endpoint =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   (* Scoped per-request capture only records when a sink is installed;
@@ -62,18 +65,68 @@ let serve ?(jobs = 1) ?(queue_limit = 64) ?max_requests
      even without --metrics-out/--trace-out. *)
   let own_sink = not (Gpo_obs.enabled ()) in
   if own_sink then Gpo_obs.install Gpo_obs.null_sink;
+  List.iter Gpo_obs.Counter.touch [ c_conn_timeouts; c_drain ];
+  (* Attach the journal before binding the socket: a client that can
+     connect can already hit the recovered cache. *)
+  (match cache_dir with
+  | None -> ()
+  | Some dir -> (
+      match Harness.Result_cache.attach dir with
+      | Ok _ -> ()
+      | Error msg ->
+          if own_sink then Gpo_obs.uninstall ();
+          failwith (Printf.sprintf "cache-dir %s: %s" dir msg)));
   let sched = Scheduler.create ~jobs ~queue_limit () in
   let lfd, bound = listen_fd endpoint in
   let requests = ref 0 in
   let stop = ref false in
+  (* Graceful drain: the first SIGTERM/SIGINT stops accepting (the
+     blocking accept wakes with EINTR) and lets the in-flight batch
+     finish under its own guards; a second signal cancels the in-flight
+     engines too.  Either way the journal is flushed and the process
+     leaves through the normal exit path — drain is exit 0. *)
+  let draining = Atomic.make false in
+  let on_signal (_ : int) =
+    if Atomic.get draining then Scheduler.cancel_inflight sched
+    else begin
+      Atomic.set draining true;
+      Gpo_obs.Counter.incr c_drain;
+      Gpo_obs.instant "serve.drain" []
+    end
+  in
+  let install sg =
+    try Some (Sys.signal sg (Sys.Signal_handle on_signal))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore sg prev =
+    match prev with
+    | None -> ()
+    | Some b -> ( try Sys.set_signal sg b with Invalid_argument _ -> ())
+  in
+  let prev_term = install Sys.sigterm in
+  let prev_int = install Sys.sigint in
+  let stopping () = !stop || Atomic.get draining in
   let handle fd =
     Gpo_obs.Counter.incr c_connections;
+    if io_timeout_s > 0. then Protocol.set_timeouts fd io_timeout_s;
     let rec loop () =
-      if !stop then ()
+      if stopping () then ()
       else
         match Protocol.recv fd with
-        | None -> ()
-        | Some payload ->
+        | Protocol.Eof -> ()
+        | Protocol.Bad Protocol.Frame_timeout ->
+            (* Slow-loris or stalled peer: one typed reply (itself under
+               the send timeout), then the socket dies — the accept loop
+               is free again. *)
+            Gpo_obs.Counter.incr c_conn_timeouts;
+            Protocol.send fd (Protocol.json_of_response Protocol.Timed_out)
+        | Protocol.Bad e ->
+            (* Framing is lost (truncated or oversized frame): answer
+               once, then close — resynchronisation is impossible. *)
+            Protocol.send fd
+              (Protocol.json_of_response
+                 (Protocol.Error (Protocol.describe_frame_error e)))
+        | Protocol.Payload payload ->
             incr requests;
             Gpo_obs.Counter.incr c_requests;
             let response =
@@ -101,20 +154,28 @@ let serve ?(jobs = 1) ?(queue_limit = 64) ?max_requests
         (* A torn frame or a peer that vanished mid-write kills this
            connection, not the server. *)
         try loop ()
-        with Failure _ | Unix.Unix_error _ -> ())
+        with Protocol.Frame _ | Unix.Unix_error _ -> ())
   in
   Fun.protect
     ~finally:(fun () ->
+      restore Sys.sigterm prev_term;
+      restore Sys.sigint prev_int;
       (try Unix.close lfd with Unix.Unix_error _ -> ());
       (match bound with
       | Unix_path path -> (
           try Unix.unlink path with Unix.Unix_error _ -> ())
       | Tcp _ -> ());
       Scheduler.shutdown sched;
+      (* The drain barrier: whatever the exit reason, every journaled
+         store is fsynced before the process leaves. *)
+      if cache_dir <> None then begin
+        Harness.Result_cache.flush_journal ();
+        Harness.Result_cache.detach ()
+      end;
       if own_sink then Gpo_obs.uninstall ())
     (fun () ->
       on_ready bound;
-      while not !stop do
+      while not (stopping ()) do
         match Unix.accept lfd with
         | fd, _ -> handle fd
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

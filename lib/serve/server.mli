@@ -24,16 +24,39 @@ val serve :
   ?jobs:int ->
   ?queue_limit:int ->
   ?max_requests:int ->
+  ?cache_dir:string ->
+  ?io_timeout_s:float ->
   ?on_ready:(endpoint -> unit) ->
   endpoint ->
   unit
-(** Run the daemon until a [Shutdown] request (or [max_requests]
-    processed frames — used by tests and the CI smoke to bound the
-    run).  [jobs]/[queue_limit] configure the {!Scheduler}.  [on_ready]
-    fires once the socket is listening, with the {e actual} endpoint
-    (TCP port resolved).  Installs {!Gpo_obs.null_sink} for the
-    process lifetime when no sink is active, so scoped per-request
-    capture works without global observability flags; SIGPIPE is
-    ignored so a client hangup surfaces as [EPIPE] on the write and
-    closes that connection only.  The Unix socket path is unlinked on
-    exit. *)
+(** Run the daemon until a [Shutdown] request, a drain signal, or
+    [max_requests] processed frames (used by tests and the CI smoke to
+    bound the run).  [jobs]/[queue_limit] configure the {!Scheduler}.
+    [on_ready] fires once the socket is listening, with the {e actual}
+    endpoint (TCP port resolved).
+
+    [cache_dir] opts into the persistent result cache: the journal at
+    [cache_dir/results.journal] is recovered ({!Harness.Result_cache.attach}
+    — recovery details via {!Harness.Result_cache.last_recovery} and
+    the [Stats] reply) {e before} the socket binds, every finished
+    store is journaled, and the journal is fsynced and closed on every
+    exit path.  Raises [Failure] when the directory is unusable.
+
+    [io_timeout_s] (default 30, [<= 0] disables) arms per-connection
+    [SO_RCVTIMEO]/[SO_SNDTIMEO] deadlines: a client that stalls
+    mid-frame or stops reading gets one typed [Timed_out] reply
+    (counted by [serve.conn.timeouts]) and its socket closed — it can
+    never head-of-line-block the accept loop forever.
+
+    Graceful drain: the first SIGTERM/SIGINT stops accepting and lets
+    the in-flight batch finish under its own guards; a second signal
+    also cancels in-flight engines ({!Scheduler.cancel_inflight}).
+    Both paths flush the journal and return normally — a drained
+    server exits 0.  Previous signal dispositions are restored on
+    exit.
+
+    Installs {!Gpo_obs.null_sink} for the process lifetime when no
+    sink is active, so scoped per-request capture works without global
+    observability flags; SIGPIPE is ignored so a client hangup
+    surfaces as [EPIPE] on the write and closes that connection only.
+    The Unix socket path is unlinked on exit. *)

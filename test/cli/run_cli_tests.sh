@@ -268,6 +268,105 @@ fi
 wait "$serve_pid" 2>/dev/null
 rm -f "$sock"
 
+# --- crash safety: --cache-dir journal, kill -9, graceful drain -------
+
+wait_ready() {
+  local s="$1" n
+  for n in $(seq 1 100); do
+    if "$JULIE" submit --socket "$s" --ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+
+cachedir="$(mktemp -d)"
+sock="$(mktemp -u).sock"
+"$JULIE" serve --socket "$sock" --cache-dir "$cachedir" >/dev/null 2>&1 &
+serve_pid=$!
+
+if ! wait_ready "$sock"; then
+  echo "FAIL: persistent julie serve did not come up on $sock"
+  failures=$((failures + 1))
+else
+  expect 1 "persistent daemon answers and journals the verdict" -- \
+    submit --socket "$sock" -m nsdp -n 3
+  expect_out "certified" "the journaled witness is certified"
+
+  # kill -9 mid-batch: a long exploration is in flight when the
+  # daemon dies.  Nothing partial may survive into the next life.
+  "$JULIE" submit --socket "$sock" -m nsdp -n 10 -e full >/dev/null 2>&1 &
+  inflight_pid=$!
+  sleep 0.3
+  kill -9 "$serve_pid" 2>/dev/null
+  wait "$serve_pid" 2>/dev/null
+  kill "$inflight_pid" 2>/dev/null
+  wait "$inflight_pid" 2>/dev/null
+
+  # Restart on the same --cache-dir: the journal recovers, the cached
+  # verdict is served without re-exploration, byte-identical.
+  serve_log="$(mktemp)"
+  "$JULIE" serve --socket "$sock" --cache-dir "$cachedir" >"$serve_log" 2>&1 &
+  serve_pid=$!
+  if ! wait_ready "$sock"; then
+    echo "FAIL: julie serve did not come back up after kill -9"
+    failures=$((failures + 1))
+  else
+    if grep -q "cache recovered" "$serve_log"; then
+      echo "ok:   restart reports the recovered cache"
+    else
+      echo "FAIL: restart banner lacks the recovery report"
+      sed 's/^/      /' "$serve_log"
+      failures=$((failures + 1))
+    fi
+    expect 1 "recovered cache serves the journaled verdict" -- \
+      submit --socket "$sock" -m nsdp -n 3
+    expect_out "cached" "the verdict survived kill -9 as a cache hit"
+    expect_out "certified" "the recovered witness re-certified on the hit"
+    expect 0 "stats expose the recovery report" -- \
+      submit --socket "$sock" --stats
+    expect_out '"recovered":' "stats carry serve.recovered"
+    expect_out '"serve.recovered":1' "exactly the finished entry recovered"
+
+    # Graceful drain: SIGTERM finishes in-flight work, flushes the
+    # journal, and exits 0.
+    kill -TERM "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+    drain_code=$?
+    if [ "$drain_code" -eq 0 ]; then
+      echo "ok:   SIGTERM drains the daemon with exit 0"
+    else
+      echo "FAIL: drained daemon exited $drain_code, want 0"
+      failures=$((failures + 1))
+    fi
+
+    # Third life: the drained journal still serves the entry.
+    "$JULIE" serve --socket "$sock" --cache-dir "$cachedir" >/dev/null 2>&1 &
+    serve_pid=$!
+    if wait_ready "$sock"; then
+      expect 1 "the drained journal still serves after restart" -- \
+        submit --socket "$sock" -m nsdp -n 3
+      expect_out "cached" "cache hit across a graceful drain"
+      expect 0 "drained daemon stops via --shutdown" -- \
+        submit --socket "$sock" --shutdown
+    else
+      echo "FAIL: julie serve did not come up after the drain"
+      failures=$((failures + 1))
+    fi
+  fi
+  rm -f "$serve_log"
+fi
+wait "$serve_pid" 2>/dev/null
+rm -f "$sock"
+rm -rf "$cachedir"
+
+# --- client retry policy ----------------------------------------------
+
+expect 2 "submit --retries gives up on a dead endpoint" -- \
+  submit --socket "$(mktemp -u).sock" --retries 2 --backoff-ms 1 -m over -n 3
+expect_out "connect" "the final failure names the refused connection"
+
 echo
 if [ "$failures" -gt 0 ]; then
   echo "$failures CLI check(s) failed"

@@ -33,5 +33,7 @@ let () =
       ("bench-compare", Test_bench_compare.suite);
       ("par", Test_par.suite);
       ("serve", Test_serve.suite);
+      ("journal", Test_journal.suite);
+      ("persist", Test_persist.suite);
       ("chaos", Test_chaos.suite);
     ]

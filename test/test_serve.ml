@@ -447,6 +447,7 @@ let test_protocol_roundtrip () =
       P.Pong;
       P.Stats_reply (J.Obj [ ("cache", J.Obj [ ("size", J.Int 1) ]) ]);
       P.Bye;
+      P.Timed_out;
       P.Error "bad json";
     ]
 
@@ -498,7 +499,7 @@ let test_server_over_socket () =
         match Serve.Client.submit endpoint [ job ] with
         | Ok (P.Results [ r ]) -> r
         | Ok _ -> Alcotest.fail "expected one result"
-        | Error msg -> Alcotest.failf "submit: %s" msg
+        | Error f -> Alcotest.failf "submit: %s" (Serve.Client.describe_failure f)
       in
       check_ok miss;
       Alcotest.(check bool) "first request misses" false miss.P.cached;
@@ -506,7 +507,7 @@ let test_server_over_socket () =
         match Serve.Client.submit endpoint [ job ] with
         | Ok (P.Results [ r ]) -> r
         | Ok _ -> Alcotest.fail "expected one result"
-        | Error msg -> Alcotest.failf "submit: %s" msg
+        | Error f -> Alcotest.failf "submit: %s" (Serve.Client.describe_failure f)
       in
       check_ok hit;
       Alcotest.(check bool) "second request hits over the wire" true
@@ -524,7 +525,216 @@ let test_server_over_socket () =
           Alcotest.(check bool) "stats reply lists the cache" true
             (cache <> None)
       | Ok _ -> Alcotest.fail "expected stats reply"
-      | Error msg -> Alcotest.failf "stats: %s" msg)
+      | Error f -> Alcotest.failf "stats: %s" (Serve.Client.describe_failure f))
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec under hostile input                                     *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let write_raw fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s) : int)
+
+let test_frame_clean_eof () =
+  with_socketpair @@ fun a b ->
+  Unix.close b;
+  (match P.read_frame a with
+  | P.Eof -> ()
+  | _ -> Alcotest.fail "clean close reads as Eof")
+
+let test_frame_truncated_header () =
+  with_socketpair @@ fun a b ->
+  write_raw b "\x00\x00";
+  Unix.close b;
+  (match P.read_frame a with
+  | P.Bad (P.Frame_truncated _) -> ()
+  | _ -> Alcotest.fail "short header is a typed truncation")
+
+let test_frame_truncated_payload () =
+  with_socketpair @@ fun a b ->
+  write_raw b "\x00\x00\x00\x64partial";
+  Unix.close b;
+  (match P.read_frame a with
+  | P.Bad (P.Frame_truncated _) -> ()
+  | _ -> Alcotest.fail "mid-frame EOF is a typed truncation")
+
+let test_frame_oversized () =
+  with_socketpair @@ fun a b ->
+  (* Length prefix of max_frame + 1: must come back typed, not as a
+     64 MiB allocation attempt. *)
+  write_raw b "\x04\x00\x00\x01";
+  Unix.close b;
+  (match P.read_frame a with
+  | P.Bad (P.Frame_oversized n) ->
+      Alcotest.(check int) "reported size" (P.max_frame + 1) n
+  | _ -> Alcotest.fail "oversized prefix is typed")
+
+let test_frame_garbage_json () =
+  with_socketpair @@ fun a b ->
+  P.write_frame b "this is not json {";
+  (match P.recv a with
+  | P.Payload (Error _) -> ()
+  | _ -> Alcotest.fail "intact frame with broken JSON survives as Error");
+  (* The connection is still usable afterwards. *)
+  P.send b (P.json_of_request P.Ping);
+  (match P.recv a with
+  | P.Payload (Ok json) -> (
+      match P.request_of_json json with
+      | Ok P.Ping -> ()
+      | _ -> Alcotest.fail "later frame decodes")
+  | _ -> Alcotest.fail "connection survives garbage JSON")
+
+let test_frame_timeout () =
+  with_socketpair @@ fun a _b ->
+  P.set_timeouts a 0.1;
+  let t0 = Unix.gettimeofday () in
+  (match P.read_frame a with
+  | P.Bad P.Frame_timeout -> ()
+  | _ -> Alcotest.fail "stalled peer reads as a typed timeout");
+  Alcotest.(check bool) "timeout fires promptly" true
+    (Unix.gettimeofday () -. t0 < 5.0)
+
+let test_frame_fuzz_never_raises () =
+  (* Seeded random byte streams: the reader must always return a typed
+     incoming — any exception here is a server-killer. *)
+  for seed = 0 to 19 do
+    let rng = Random.State.make [| 0xF0_22; seed |] in
+    with_socketpair @@ fun a b ->
+    let len = 1 + Random.State.int rng 200 in
+    let garbage =
+      String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+    in
+    write_raw b garbage;
+    Unix.close b;
+    let rec drain budget =
+      if budget > 0 then
+        match P.read_frame a with
+        | P.Payload _ -> drain (budget - 1)
+        | P.Eof | P.Bad _ -> ()
+    in
+    match drain 64 with
+    | () -> ()
+    | exception e ->
+        Alcotest.failf "seed %d: frame reader raised %s" seed
+          (Printexc.to_string e)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Slow clients must not head-of-line-block the daemon                 *)
+
+let test_slow_client_times_out () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "julie-test-slow-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Serve.Server.Unix_path path in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.serve ~jobs:1 ~queue_limit:8 ~io_timeout_s:0.3 endpoint)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Serve.Client.shutdown endpoint) with _ -> ());
+      Domain.join server;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Alcotest.(check bool) "server comes up" true
+        (Serve.Client.wait_ready endpoint);
+      (* A slow-loris client: connects, never sends a byte. *)
+      let silent = Serve.Client.connect endpoint in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close silent with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* A well-behaved client right behind it is served once the
+             stalled connection blows its 0.3 s deadline — not never. *)
+          let t0 = Unix.gettimeofday () in
+          (match Serve.Client.ping endpoint with
+          | Ok P.Pong -> ()
+          | Ok _ -> Alcotest.fail "expected pong behind the slow client"
+          | Error f ->
+              Alcotest.failf "ping behind the slow client: %s"
+                (Serve.Client.describe_failure f));
+          Alcotest.(check bool) "served promptly after the deadline" true
+            (Unix.gettimeofday () -. t0 < 10.0);
+          (* The stalled client got the typed reply before the close. *)
+          P.set_timeouts silent 10.0;
+          match P.recv silent with
+          | P.Payload (Ok json) -> (
+              match P.response_of_json json with
+              | Ok P.Timed_out -> ()
+              | _ -> Alcotest.fail "slow client gets a typed timed_out reply")
+          | _ -> Alcotest.fail "slow client gets a reply before the close"))
+
+(* ------------------------------------------------------------------ *)
+(* Client retry policy                                                 *)
+
+let test_failure_classification () =
+  List.iter
+    (fun (f, want) ->
+      Alcotest.(check bool)
+        (Serve.Client.describe_failure f ^ " transience")
+        want
+        (Serve.Client.transient f))
+    [
+      (Serve.Client.Refused "connect: refused", true);
+      (Serve.Client.Timed_out "deadline", true);
+      (Serve.Client.Closed, false);
+      (Serve.Client.Protocol_error "bad frame", false);
+      (Serve.Client.Io "EPIPE", false);
+    ]
+
+let test_retry_gives_up_on_dead_endpoint () =
+  let endpoint =
+    Serve.Server.Unix_path
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "julie-test-nobody-%d.sock" (Unix.getpid ())))
+  in
+  let rng = Random.State.make [| 42 |] in
+  let t0 = Unix.gettimeofday () in
+  (match Serve.Client.submit ~retries:3 ~backoff_ms:1 ~rng endpoint [] with
+  | Error (Serve.Client.Refused _) -> ()
+  | Error f ->
+      Alcotest.failf "expected Refused, got %s"
+        (Serve.Client.describe_failure f)
+  | Ok _ -> Alcotest.fail "nobody was listening");
+  (* 3 retries at base 1 ms: the full-jitter ceilings sum to ~7 ms. *)
+  Alcotest.(check bool) "jittered backoff stays near its ceiling" true
+    (Unix.gettimeofday () -. t0 < 5.0)
+
+let test_retry_rides_out_restart () =
+  (* The daemon comes up late — exactly the restart window the retry
+     policy exists for.  The client's first attempts are refused, a
+     later one lands. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "julie-test-lateboot-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Serve.Server.Unix_path path in
+  let server =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.25;
+        Serve.Server.serve ~jobs:1 ~queue_limit:8 endpoint)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Serve.Client.shutdown endpoint) with _ -> ());
+      Domain.join server;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rng = Random.State.make [| 7 |] in
+      match Serve.Client.submit ~retries:20 ~backoff_ms:50 ~rng endpoint [] with
+      | Ok (P.Results []) -> ()
+      | Ok _ -> Alcotest.fail "expected an empty result list"
+      | Error f ->
+          Alcotest.failf "retries should ride out the restart: %s"
+            (Serve.Client.describe_failure f))
 
 let suite =
   [
@@ -562,4 +772,25 @@ let suite =
       `Quick test_verdict_mapping;
     Alcotest.test_case "daemon serves cache hits over a Unix socket" `Quick
       test_server_over_socket;
+    Alcotest.test_case "frame: clean EOF" `Quick test_frame_clean_eof;
+    Alcotest.test_case "frame: truncated header is typed" `Quick
+      test_frame_truncated_header;
+    Alcotest.test_case "frame: mid-frame EOF is typed" `Quick
+      test_frame_truncated_payload;
+    Alcotest.test_case "frame: oversized prefix is typed" `Quick
+      test_frame_oversized;
+    Alcotest.test_case "frame: garbage JSON keeps the connection" `Quick
+      test_frame_garbage_json;
+    Alcotest.test_case "frame: stalled peer is a typed timeout" `Quick
+      test_frame_timeout;
+    Alcotest.test_case "frame: random byte fuzz never raises" `Quick
+      test_frame_fuzz_never_raises;
+    Alcotest.test_case "slow client times out, next client served" `Quick
+      test_slow_client_times_out;
+    Alcotest.test_case "failure transience classification" `Quick
+      test_failure_classification;
+    Alcotest.test_case "retry gives up on a dead endpoint" `Quick
+      test_retry_gives_up_on_dead_endpoint;
+    Alcotest.test_case "retry rides out a daemon restart" `Quick
+      test_retry_rides_out_restart;
   ]
